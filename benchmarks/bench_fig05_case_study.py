@@ -1,0 +1,21 @@
+"""Figure 5: cumulative bandwidth, native vs VF, on a 10 Gb/s link.
+
+Paper shape: the native series rises to ~9.4 Gb/s and stays flat; the VF
+series matches it up to ~8 connections, then collapses as translations
+thrash the shared DevTLB.
+"""
+
+from repro.analysis.experiments import figure5
+
+
+def test_figure5_vf_bandwidth_collapses(run_experiment, scale):
+    table = run_experiment(figure5, scale)
+    native = table.column("native Gb/s")
+    vf = table.column("VF Gb/s")
+    # Native is monotone non-decreasing and ends near line rate.
+    assert all(b >= a - 1e-9 for a, b in zip(native, native[1:]))
+    if scale.name != "smoke":
+        assert native[-1] > 9.0
+        # VF peaks early then collapses well below native.
+        assert max(vf) > 0.9 * max(native)
+        assert vf[-1] < 0.5 * native[-1]

@@ -1,0 +1,21 @@
+"""Figure 8: single-tenant page-access characterisation.
+
+Paper shape (8a): three frequency groups — one ring page touched by every
+packet, 2 MB data pages each ~30x colder, and ~70 nearly-untouched init
+pages.  (8b): data pages are used in long sequential runs (~1500 uses) in
+a fixed cyclic order.
+"""
+
+from repro.analysis.experiments import figure8
+
+
+def test_figure8_access_groups_and_periodicity(run_experiment, scale):
+    packets = {"smoke": 10_000, "default": 95_000, "full": 95_000}[scale.name]
+    table = run_experiment(figure8, packets=packets)
+    groups = {row[0]: row for row in table.rows}
+    ring_rate = groups["ring"][3]
+    data_rate = groups["data"][3]
+    init_rate = groups["init"][3]
+    assert ring_rate > 10 * data_rate > 100 * init_rate
+    assert groups["data"][1] == 30
+    assert groups["init"][1] == 70

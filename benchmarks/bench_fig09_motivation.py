@@ -1,0 +1,20 @@
+"""Figure 9: modeled bandwidth vs tenant count for DevTLB configurations.
+
+Paper shape: full 200 Gb/s up to ~4 connections with the 64-entry DevTLB,
+then an eviction-driven collapse mirroring the hardware case study; a
+1024-entry DevTLB delays but does not avoid the collapse.
+"""
+
+from repro.analysis.experiments import figure9
+
+
+def test_figure9_devtlb_contention_collapse(run_experiment, scale):
+    table = run_experiment(figure9, scale)
+    small = table.column("64-entry 8-way Gb/s")
+    if scale.name != "smoke":
+        # Near line rate at the start, collapsed at the end.
+        assert small[0] > 160.0
+        assert small[-1] < 0.3 * small[0]
+        large = table.column("1024-entry 8-way Gb/s")
+        # The big DevTLB helps in the middle of the sweep...
+        assert max(l - s for s, l in zip(small, large)) > 20.0

@@ -1,0 +1,20 @@
+"""Figure 10: the headline result — Base vs HyperTRIO scalability.
+
+Paper shape: Base is capped at 12-30 Gb/s (<= 15% of the 200 Gb/s link)
+for any tenant count beyond ~32; HyperTRIO sustains high utilisation all
+the way to 1024 tenants (up to 100% for RR orders, lower for RAND1).
+"""
+
+from repro.analysis.experiments import figure10
+
+
+def test_figure10_hypertrio_scales_base_collapses(run_experiment, scale):
+    table = run_experiment(figure10, scale)
+    max_tenants = max(scale.tenant_counts)
+    for row in table.rows:
+        benchmark, interleaving, tenants, _, _, base_util, hyper_util = row
+        if tenants == max_tenants and interleaving.startswith("RR"):
+            # Base collapses, HyperTRIO does not.
+            assert base_util < 20.0, (benchmark, interleaving)
+            assert hyper_util > 60.0, (benchmark, interleaving)
+            assert hyper_util > 4 * base_util, (benchmark, interleaving)

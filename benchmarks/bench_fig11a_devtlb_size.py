@@ -1,0 +1,18 @@
+"""Figure 11a: scaling the DevTLB does not restore hyper-tenant scaling.
+
+Paper shape: the 1024-entry DevTLB helps up to ~64 tenants; past ~128
+tenants both sizes give the same collapsed utilisation.
+"""
+
+from repro.analysis.experiments import figure11a
+
+
+def test_figure11a_bigger_devtlb_insufficient(run_experiment, scale):
+    table = run_experiment(figure11a, scale)
+    max_tenants = max(scale.tenant_counts)
+    for row in table.rows:
+        benchmark, tenants, small_util, large_util = row
+        if tenants == max_tenants and max_tenants >= 256:
+            # At hyper-tenant scale the 16x larger DevTLB is within a few
+            # points of the small one — size does not solve the problem.
+            assert abs(large_util - small_util) < 15.0, benchmark

@@ -1,0 +1,20 @@
+"""Figure 11b: DevTLB replacement policies on the Base design.
+
+Paper shape: LFU outperforms LRU in the mid-tenant regime (up to 2x for
+iperf3 at 16 tenants); even the Belady oracle cannot make the Base design
+scale past ~64 tenants.
+"""
+
+from repro.analysis.experiments import figure11b
+
+
+def test_figure11b_policies_do_not_fix_scaling(run_experiment, scale):
+    table = run_experiment(figure11b, scale)
+    max_tenants = max(scale.tenant_counts)
+    for row in table.rows:
+        benchmark, tenants, lru_util, lfu_util, oracle_util = row
+        # Oracle is an upper bound for the other policies (small tolerance
+        # for timing feedback noise).
+        assert oracle_util >= max(lru_util, lfu_util) - 6.0, (benchmark, tenants)
+        if tenants == max_tenants and max_tenants >= 256:
+            assert oracle_util < 35.0, benchmark  # even Belady collapses

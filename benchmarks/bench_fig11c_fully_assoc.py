@@ -1,0 +1,19 @@
+"""Figure 11c: fully associative DevTLB with oracle replacement.
+
+Paper shape: once the tenant count times the per-tenant active
+translation set exceeds the entry count, every request misses; beyond ~8
+tenants utilisation is low even for this idealised DevTLB.
+"""
+
+from repro.analysis.experiments import figure11c
+
+
+def test_figure11c_ideal_devtlb_still_collapses(run_experiment, scale):
+    table = run_experiment(figure11c, scale)
+    max_tenants = max(scale.tenant_counts)
+    for row in table.rows:
+        benchmark, tenants, util, active_set = row
+        if tenants * active_set <= 64:
+            assert util > 80.0, (benchmark, tenants)
+        if tenants == max_tenants and max_tenants >= 64:
+            assert util < 40.0, (benchmark, tenants)

@@ -1,0 +1,18 @@
+"""Figure 12b: Pending Translation Buffer size sweep.
+
+Paper shape: 8 entries reach full bandwidth up to 16 tenants; 32 entries
+reach ~2/3 of the 200 Gb/s link at 1024 tenants (136 Gb/s in the paper).
+"""
+
+from repro.analysis.experiments import figure12b
+
+
+def test_figure12b_ptb_size_monotone(run_experiment, scale):
+    table = run_experiment(figure12b, scale)
+    for row in table.rows:
+        benchmark, tenants, ptb1, ptb8, ptb32 = row
+        assert ptb8 >= ptb1 - 5.0, (benchmark, tenants)
+        assert ptb32 >= ptb8 - 5.0, (benchmark, tenants)
+        if tenants >= 256:
+            # More in-flight translations buy a large factor at scale.
+            assert ptb32 > 2 * ptb1, (benchmark, tenants)

@@ -1,0 +1,19 @@
+"""Figure 12c: the translation prefetching scheme's contribution.
+
+Paper shape: prefetching adds up to ~30 percentage points of link
+utilisation for websearch in hyper-tenant setups over the partitioned +
+PTB32 design, with the prefetcher supplying ~45% of translations at 1024
+tenants.
+"""
+
+from repro.analysis.experiments import figure12c
+
+
+def test_figure12c_prefetch_contribution(run_experiment, scale):
+    table = run_experiment(figure12c, scale)
+    max_tenants = max(scale.tenant_counts)
+    for row in table.rows:
+        benchmark, tenants, off_util, on_util, supplied = row
+        if tenants == max_tenants and max_tenants >= 256:
+            assert on_util > off_util + 15.0, benchmark
+            assert supplied > 30.0, benchmark

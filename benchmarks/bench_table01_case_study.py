@@ -1,0 +1,8 @@
+"""Table I: case-study host parameters (reference data)."""
+
+from repro.analysis.experiments import table1
+
+
+def test_table1_case_study_hosts(run_experiment):
+    table = run_experiment(table1)
+    assert len(table.rows) == 3

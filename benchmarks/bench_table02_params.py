@@ -1,0 +1,11 @@
+"""Table II: performance-model parameters (paper vs this model)."""
+
+from repro.analysis.experiments import table2
+
+
+def test_table2_simulator_parameters(run_experiment):
+    table = run_experiment(table2)
+    paper = dict(zip(table.column("parameter"), table.column("paper")))
+    model = dict(zip(table.column("parameter"), table.column("this model")))
+    assert paper["One-way PCIe latency"] == model["One-way PCIe latency"]
+    assert paper["DRAM latency"] == model["DRAM latency"]

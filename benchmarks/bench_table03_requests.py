@@ -1,0 +1,21 @@
+"""Table III: translation-request counts per benchmark.
+
+The paper's counts come from 1024-tenant traces (up to 108,513
+translations per tenant, 69.7 M total for iperf3).  We regenerate scaled
+traces with the same per-tenant spread; the scale-free check is the
+min/max ratio per benchmark.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table3
+from repro.analysis.scale import current_scale
+
+
+def test_table3_translation_request_counts(run_experiment):
+    scale = current_scale()
+    tenants = {"smoke": 16, "default": 256, "full": 1024}[scale.name]
+    table = run_experiment(table3, num_tenants=tenants, packets_per_tenant=1200)
+    for row in table.rows:
+        benchmark, *_, measured_ratio, paper_ratio = row
+        assert measured_ratio == pytest.approx(paper_ratio, rel=0.25), benchmark

@@ -1,0 +1,9 @@
+"""Table IV: Base vs HyperTRIO architectural parameters."""
+
+from repro.analysis.experiments import table4
+
+
+def test_table4_architectural_parameters(run_experiment):
+    table = run_experiment(table4)
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    assert rows["PTB entries"] == (1, 32)

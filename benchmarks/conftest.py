@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints its rows (the paper-vs-measured record lives in EXPERIMENTS.md).
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` / ``default`` / ``full``); see ``repro.analysis.scale``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.scale import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The session's run scale (env-selected)."""
+    return current_scale()
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Benchmark one experiment driver and print its rendered table.
+
+    Experiment drivers are end-to-end simulations, so they run once
+    (``rounds=1``) — the time reported is the cost of regenerating the
+    table/figure at the current scale.
+    """
+
+    def runner(driver, *args, **kwargs):
+        table = benchmark.pedantic(
+            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(table.render())
+        return table
+
+    return runner

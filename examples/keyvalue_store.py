@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Key-value store traffic: the paper's small-packet motivation.
+
+The paper's introduction points out that real applications leave even
+less time per translation than full-size frames: in a large key-value
+store, most keys are under 60 B and values under 1000 B, so packets (and
+therefore translation requests) arrive much faster than the 1542 B frame
+cadence the headline experiments assume.
+
+This example runs the KEYVALUE extension workload (60% tiny packets)
+against both designs and compares it with iperf3's full-frame stream at
+the same tenant count.
+
+Run:  python examples/keyvalue_store.py
+"""
+
+from repro import base_config, construct_trace, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace import IPERF3, KEYVALUE
+
+
+def run(profile, config, tenants=64):
+    trace = construct_trace(
+        profile,
+        num_tenants=tenants,
+        packets_per_tenant=200_000,
+        interleaving="RR1",
+        max_packets=10_000,
+    )
+    result = HyperSimulator(config, trace).run(
+        warmup_packets=len(trace.packets) // 4
+    )
+    mean_bytes = result.packets.bytes_processed / max(
+        1, result.packets.accepted
+    )
+    return result, mean_bytes
+
+
+def main():
+    tenants = 64
+    print(f"{tenants} tenants, 200 Gb/s link")
+    print(
+        f"{'workload':10s} {'config':10s} {'mean pkt B':>10s} "
+        f"{'util %':>7s} {'drops':>7s}"
+    )
+    for profile in (IPERF3, KEYVALUE):
+        for config in (base_config(), hypertrio_config()):
+            result, mean_bytes = run(profile, config, tenants)
+            print(
+                f"{profile.name:10s} {config.name:10s} {mean_bytes:10.0f} "
+                f"{result.link_utilization * 100:7.1f} "
+                f"{result.packets.dropped:7d}"
+            )
+    print()
+    print(
+        "small packets shrink the translation budget per request (a 150 B\n"
+        "frame arrives every ~6 ns at 200 Gb/s vs ~62 ns for 1542 B), so\n"
+        "the key-value workload is strictly harder for both designs —\n"
+        "exactly the trend the paper's introduction warns about."
+    )
+
+
+if __name__ == "__main__":
+    main()

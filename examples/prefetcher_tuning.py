@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tune the translation prefetcher (Section III / V-D).
+
+The SID predictor's history length is the prefetcher's just-in-time lead:
+too short and prefetches complete after the predicted tenant's turn; too
+long and pinned entries are recycled before use.  The paper tuned 48 for
+its latencies; this script sweeps the knob for this model and also shows
+the Prefetch Buffer size trade-off.
+
+Run:  python examples/prefetcher_tuning.py
+"""
+
+import dataclasses
+
+from repro import construct_trace, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace import MEDIASTREAM
+
+
+def run_with(history_length=None, buffer_entries=None, trace=None):
+    config = hypertrio_config()
+    prefetch = config.prefetch
+    if history_length is not None:
+        prefetch = dataclasses.replace(prefetch, history_length=history_length)
+    if buffer_entries is not None:
+        prefetch = dataclasses.replace(prefetch, buffer_entries=buffer_entries)
+    config = config.with_overrides(prefetch=prefetch)
+    simulator = HyperSimulator(config, trace)
+    return simulator.run(warmup_packets=len(trace.packets) // 4)
+
+
+def main():
+    tenants = 256
+    print(f"sweeping prefetcher knobs at {tenants} tenants (mediastream, RR1)")
+
+    def fresh_trace():
+        return construct_trace(
+            MEDIASTREAM,
+            num_tenants=tenants,
+            packets_per_tenant=200_000,
+            interleaving="RR1",
+            max_packets=10_000,
+        )
+
+    print()
+    print("history length sweep (Table IV value: 48; our optimum: ~36):")
+    print(f"{'history':>8s} {'util %':>8s} {'supplied %':>11s}")
+    for history in (12, 24, 36, 48, 64):
+        result = run_with(history_length=history, trace=fresh_trace())
+        print(
+            f"{history:8d} {result.link_utilization * 100:8.1f} "
+            f"{result.prefetch_supplied_fraction * 100:11.1f}"
+        )
+
+    print()
+    print("prefetch buffer size sweep (paper keeps it small: 8 entries):")
+    print(f"{'entries':>8s} {'util %':>8s} {'PB hit %':>9s}")
+    for entries in (2, 8, 32):
+        result = run_with(buffer_entries=entries, trace=fresh_trace())
+        print(
+            f"{entries:8d} {result.link_utilization * 100:8.1f} "
+            f"{result.prefetch_buffer_hit_rate * 100:9.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

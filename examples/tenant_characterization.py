@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Characterise single- and multi-tenant gIOVA streams (Section IV-D).
+
+Reproduces the paper's Figure 8 analysis: the three page-frequency groups
+of a single tenant, the periodic ~1500-use data-page pattern, and the
+multi-tenant observation that independent tenants (same guest OS and
+driver) use identical gIOVA page addresses.
+
+Run:  python examples/tenant_characterization.py
+"""
+
+import dataclasses
+
+from repro.trace import (
+    MEDIASTREAM,
+    LogCollector,
+    characterize_multi_tenant,
+    characterize_single_tenant,
+    collect_single_tenant,
+    make_tenant_specs,
+)
+
+
+def single_tenant():
+    profile = dataclasses.replace(MEDIASTREAM, jump_probability=0.0)
+    log = collect_single_tenant(profile, packets=95_000)
+    analysis = characterize_single_tenant(log)
+    print("single tenant (mediastream):")
+    print(f"  total translation requests: {analysis.total_requests}")
+    for name in ("ring", "data", "init"):
+        group = analysis.groups[name]
+        print(
+            f"  group {name:5s}: {group.page_count:3d} pages, "
+            f"{group.accesses_per_page:10.1f} accesses/page"
+        )
+    print(f"  periodic data-page pattern: {analysis.periodic}")
+    print(f"  mean sequential run length: {analysis.mean_run_length:.0f} uses")
+    print("  (paper: ~1500 sequential uses per 2 MB page, periodic order)")
+
+
+def multi_tenant():
+    specs = make_tenant_specs(MEDIASTREAM, num_tenants=8, packets_per_tenant=2_000)
+    logs = LogCollector().collect_flat(specs)
+    analysis = characterize_multi_tenant(logs)
+    print()
+    print(f"multi-tenant ({analysis.num_tenants} tenants):")
+    print(
+        f"  mean pairwise data-page overlap: "
+        f"{analysis.mean_pairwise_overlap * 100:.0f}%"
+    )
+    print(f"  distinct 2 MB data pages across all tenants: "
+          f"{analysis.distinct_data_pages}")
+    print(
+        "  -> identical guest OS + driver allocate identical gIOVAs, which "
+        "is why\n     un-partitioned translation caches thrash in "
+        "hyper-tenant setups"
+    )
+
+
+if __name__ == "__main__":
+    single_tenant()
+    multi_tenant()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Walk through individual translations on a live device model.
+
+Uses :class:`repro.device.NicDevice` — the step-by-step API — to show
+exactly what happens to each of a packet's three translation requests
+(Figure 3's path): which structure answered, at what latency, and how the
+picture changes from a cold device to a warm one, and after a host-side
+invalidation.
+
+Run:  python examples/translation_walkthrough.py
+"""
+
+from repro import hypertrio_config
+from repro.device import NicDevice
+from repro.trace import MEDIASTREAM, construct_trace
+
+
+def show(title, report):
+    print(f"\n{title}")
+    if not report.accepted:
+        print("  packet DROPPED (no free PTB entry)")
+        return
+    for request in report.requests:
+        print("  " + request.describe())
+    print(f"  packet translation latency: "
+          f"{report.translation_latency_ns:.1f} ns")
+
+
+def main():
+    trace = construct_trace(
+        MEDIASTREAM, num_tenants=2, packets_per_tenant=1000, max_packets=10
+    )
+    nic = NicDevice(hypertrio_config(), trace.system)
+    packet = trace.packets[0]
+
+    show("1. cold device: every request walks through the IOMMU",
+         nic.receive(packet, now=0.0))
+    show("2. same packet again: DevTLB answers at device speed",
+         nic.receive(packet, now=10_000.0))
+
+    nic.invalidate(packet.sid, packet.giovas[1])
+    show("3. after the host invalidates the data-buffer page",
+         nic.receive(packet, now=20_000.0))
+
+    other = next(p for p in trace.packets if p.sid != packet.sid)
+    show("4. a different tenant, same gIOVAs, its own translations",
+         nic.receive(other, now=30_000.0))
+
+    print(f"\ndevice drop rate so far: {nic.drop_rate * 100:.0f}%")
+    print(
+        "note how tenant 2's translations resolve to different host frames "
+        "than tenant 1's\neven though the guest addresses are identical — "
+        "the conflict at the heart of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

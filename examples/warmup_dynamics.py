@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Watch HyperTRIO lock in: windowed telemetry of a cold-start run.
+
+The prefetcher and the partitioned DevTLB reinforce each other: once
+prefetched entries start surviving until their predicted use, demand
+misses fall, which lowers fill pressure, which helps more prefetches
+survive.  This example runs a 256-tenant trace from cold caches and
+charts per-window bandwidth and prefetch coverage so the transition to
+the high-utilisation fixed point is visible.
+
+Run:  python examples/warmup_dynamics.py
+"""
+
+from repro import base_config, construct_trace, hypertrio_config
+from repro.analysis.ascii_plot import chart_from_columns
+from repro.sim.simulator import HyperSimulator
+from repro.sim.telemetry import Telemetry
+from repro.trace import MEDIASTREAM
+
+
+def run_with_telemetry(config, tenants=256, packets=10_000):
+    trace = construct_trace(
+        MEDIASTREAM,
+        num_tenants=tenants,
+        packets_per_tenant=200_000,
+        interleaving="RR1",
+        max_packets=packets,
+    )
+    telemetry = Telemetry(window_packets=500)
+    HyperSimulator(config, trace, telemetry=telemetry).run()
+    return telemetry
+
+
+def main():
+    tenants = 256
+    print(f"cold start at {tenants} tenants (mediastream, RR1)\n")
+
+    hyper = run_with_telemetry(hypertrio_config(), tenants)
+    base = run_with_telemetry(base_config(), tenants)
+
+    windows = list(range(len(hyper.windows)))
+    chart = chart_from_columns(
+        "per-window bandwidth (Gb/s)",
+        windows,
+        {
+            "HyperTRIO": hyper.series("bandwidth_gbps"),
+            "Base": base.series("bandwidth_gbps")[: len(windows)],
+        },
+        width=64,
+        height=12,
+    )
+    print(chart.render())
+
+    print()
+    coverage = chart_from_columns(
+        "per-window prefetch coverage (fraction of translations supplied)",
+        windows,
+        {"supplied": hyper.series("supplied_fraction")},
+        width=64,
+        height=10,
+    )
+    print(coverage.render())
+
+    steady = hyper.steady_state_window()
+    print()
+    print("steady state:", steady.describe())
+    print(
+        "\nthe first windows run cold (every translation walks); coverage "
+        "climbs as the\npredictor trains and pinned installs survive, and "
+        "bandwidth follows — the\nself-reinforcing lock-in described in "
+        "docs/MODEL.md."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""HyperTRIO / HyperSIO reproduction (ISCA 2020).
+
+Public API for the common workflow::
+
+    from repro import construct_trace, simulate, base_config, hypertrio_config
+    from repro.trace import MEDIASTREAM
+
+    trace = construct_trace(MEDIASTREAM, num_tenants=64,
+                            packets_per_tenant=200, interleaving="RR1")
+    result = simulate(hypertrio_config(), trace)
+    print(result.summary())
+
+Subpackages:
+
+* :mod:`repro.mem` — addresses, allocators, radix page tables, 2-D walker
+* :mod:`repro.cache` — replacement policies and TLB structures
+* :mod:`repro.iommu` — chipset translation subsystem
+* :mod:`repro.device` — packets, rings, DevTLB
+* :mod:`repro.core` — HyperTRIO mechanisms (PTB, partitioning, prefetch)
+* :mod:`repro.trace` — workload models and the trace constructor
+* :mod:`repro.sim` — the performance model
+* :mod:`repro.analysis` — experiment drivers for every table/figure
+"""
+
+from repro.core.config import (
+    ArchConfig,
+    PrefetchConfig,
+    TimingParams,
+    TlbConfig,
+    base_config,
+    case_study_timing,
+    hypertrio_config,
+)
+from repro.core.results import SimulationResult
+from repro.sim.simulator import HyperSimulator, simulate
+from repro.trace.constructor import HyperTrace, construct_trace
+from repro.trace.tenant import (
+    BENCHMARKS,
+    IPERF3,
+    MEDIASTREAM,
+    WEBSEARCH,
+    BenchmarkProfile,
+    profile_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "TlbConfig",
+    "TimingParams",
+    "PrefetchConfig",
+    "base_config",
+    "hypertrio_config",
+    "case_study_timing",
+    "SimulationResult",
+    "HyperSimulator",
+    "simulate",
+    "HyperTrace",
+    "construct_trace",
+    "BenchmarkProfile",
+    "profile_by_name",
+    "BENCHMARKS",
+    "IPERF3",
+    "MEDIASTREAM",
+    "WEBSEARCH",
+    "__version__",
+]

@@ -1,0 +1,100 @@
+"""Experiment drivers, sweeps, scaling presets, and report rendering."""
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    figure4,
+    figure5,
+    figure8,
+    figure9,
+    figure10,
+    figure11a,
+    figure11b,
+    figure11c,
+    figure12a,
+    figure12b,
+    figure12c,
+    partitioned_only_config,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.ascii_plot import AsciiChart, chart_from_columns
+from repro.analysis.compare import (
+    ResultComparison,
+    compare_results,
+    comparison_table,
+)
+from repro.analysis.fairness import (
+    FairnessReport,
+    fairness_report,
+    jains_index,
+    victim_slowdown,
+)
+from repro.analysis.isolation import antagonist_profile, isolation_study
+from repro.analysis.replication import ReplicatedPoint, replicate
+from repro.analysis.report import ExperimentTable
+from repro.analysis.reuse import (
+    ReuseProfile,
+    devtlb_reuse_profile,
+    reuse_distances,
+    reuse_profile,
+)
+from repro.analysis.scale import DEFAULT, FULL, SMOKE, RunScale, current_scale
+from repro.analysis.sweeps import (
+    SweepPoint,
+    cached_trace,
+    clear_trace_cache,
+    run_point,
+    sweep_tenants,
+    utilization_by_count,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentTable",
+    "AsciiChart",
+    "chart_from_columns",
+    "FairnessReport",
+    "fairness_report",
+    "jains_index",
+    "victim_slowdown",
+    "isolation_study",
+    "antagonist_profile",
+    "ReuseProfile",
+    "reuse_distances",
+    "reuse_profile",
+    "devtlb_reuse_profile",
+    "ResultComparison",
+    "compare_results",
+    "comparison_table",
+    "ReplicatedPoint",
+    "replicate",
+    "RunScale",
+    "SMOKE",
+    "DEFAULT",
+    "FULL",
+    "current_scale",
+    "SweepPoint",
+    "run_point",
+    "sweep_tenants",
+    "utilization_by_count",
+    "cached_trace",
+    "clear_trace_cache",
+    "partitioned_only_config",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure4",
+    "figure5",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11a",
+    "figure11b",
+    "figure11c",
+    "figure12a",
+    "figure12b",
+    "figure12c",
+]

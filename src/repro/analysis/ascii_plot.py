@@ -1,0 +1,138 @@
+"""Terminal line charts for experiment series.
+
+The original figures are matplotlib plots; this environment is
+terminal-only, so the examples render experiment series as ASCII charts.
+The renderer is deliberately simple: a fixed-size character grid, one
+marker per series, a left axis with min/max labels, and a legend.
+
+>>> chart = AsciiChart(width=20, height=5, title="demo")
+>>> chart.add_series("a", [(1, 0.0), (2, 5.0), (3, 10.0)])
+>>> print(chart.render())  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "ox*+#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A character-grid line chart."""
+
+    width: int = 60
+    height: int = 16
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    log_x: bool = False
+    _series: "List[Tuple[str, List[Tuple[float, float]]]]" = field(
+        default_factory=list
+    )
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        """Add a named series of ``(x, y)`` points."""
+        cleaned = [(float(x), float(y)) for x, y in points]
+        if not cleaned:
+            raise ValueError(f"series {name!r} has no points")
+        if len(self._series) >= len(MARKERS):
+            raise ValueError("too many series for available markers")
+        self._series.append((name, sorted(cleaned)))
+
+    # ------------------------------------------------------------------
+    def _x_transform(self, x: float) -> float:
+        if not self.log_x:
+            return x
+        import math
+
+        if x <= 0:
+            raise ValueError("log_x charts need positive x values")
+        return math.log2(x)
+
+    def _bounds(self):
+        xs = [
+            self._x_transform(x)
+            for _, points in self._series
+            for x, _ in points
+        ]
+        ys = [y for _, points in self._series for _, y in points]
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if x_high == x_low:
+            x_high = x_low + 1.0
+        if y_high == y_low:
+            y_high = y_low + 1.0
+        return x_low, x_high, y_low, y_high
+
+    def render(self) -> str:
+        """Render the chart to a multi-line string."""
+        if not self._series:
+            raise ValueError("nothing to plot")
+        x_low, x_high, y_low, y_high = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        for index, (_, points) in enumerate(self._series):
+            marker = MARKERS[index]
+            for x, y in points:
+                tx = self._x_transform(x)
+                column = round(
+                    (tx - x_low) / (x_high - x_low) * (self.width - 1)
+                )
+                row = round((y - y_low) / (y_high - y_low) * (self.height - 1))
+                grid[self.height - 1 - row][column] = marker
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        top_label = f"{y_high:.4g}"
+        bottom_label = f"{y_low:.4g}"
+        gutter = max(len(top_label), len(bottom_label)) + 1
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = top_label.rjust(gutter - 1)
+            elif row_index == self.height - 1:
+                label = bottom_label.rjust(gutter - 1)
+            else:
+                label = " " * (gutter - 1)
+            lines.append(f"{label}|" + "".join(row))
+        lines.append(" " * gutter + "-" * self.width)
+        x_axis = (
+            f"{' ' * gutter}{_format_tick(x_low, self.log_x)}"
+            f"{'' :^{max(0, self.width - 12)}}"
+            f"{_format_tick(x_high, self.log_x)}"
+        )
+        lines.append(x_axis)
+        if self.x_label:
+            lines.append(" " * gutter + self.x_label)
+        legend = "   ".join(
+            f"{MARKERS[index]} {name}"
+            for index, (name, _) in enumerate(self._series)
+        )
+        lines.append(" " * gutter + legend)
+        return "\n".join(lines)
+
+
+def _format_tick(value: float, log_x: bool) -> str:
+    if log_x:
+        return f"{2 ** value:.4g}"
+    return f"{value:.4g}"
+
+
+def chart_from_columns(
+    title: str,
+    xs: Sequence[float],
+    named_ys: Dict[str, Sequence[float]],
+    log_x: bool = False,
+    width: int = 60,
+    height: int = 14,
+) -> AsciiChart:
+    """Convenience: build a chart from an x column and named y columns."""
+    chart = AsciiChart(width=width, height=height, title=title, log_x=log_x)
+    for name, ys in named_ys.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+        chart.add_series(name, list(zip(xs, ys)))
+    return chart

@@ -1,0 +1,99 @@
+"""Structured comparison of simulation results.
+
+Most of the paper's figures are pairwise comparisons (Base vs HyperTRIO,
+with vs without one mechanism).  :func:`compare_results` produces the
+comparison as data — speedup, utilisation delta, per-structure hit-rate
+deltas — and :func:`comparison_table` renders it, so examples and ad-hoc
+studies don't reimplement the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.report import ExperimentTable
+from repro.core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class ResultComparison:
+    """Pairwise comparison of two runs of the *same* trace."""
+
+    baseline_name: str
+    candidate_name: str
+    bandwidth_speedup: float
+    utilization_delta: float
+    drop_delta: int
+    mean_latency_ratio: float
+    hit_rate_deltas: Dict[str, float]
+
+    @property
+    def candidate_wins(self) -> bool:
+        return self.bandwidth_speedup > 1.0
+
+
+def compare_results(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> ResultComparison:
+    """Compare ``candidate`` against ``baseline``.
+
+    Both results should come from the same trace (same benchmark, tenant
+    count, and interleaving); a mismatch raises ``ValueError`` because the
+    derived ratios would be meaningless.
+    """
+    for attribute in ("benchmark", "num_tenants", "interleaving"):
+        if getattr(baseline, attribute) != getattr(candidate, attribute):
+            raise ValueError(
+                f"results are not comparable: {attribute} differs "
+                f"({getattr(baseline, attribute)!r} vs "
+                f"{getattr(candidate, attribute)!r})"
+            )
+    speedup = (
+        candidate.achieved_bandwidth_gbps / baseline.achieved_bandwidth_gbps
+        if baseline.achieved_bandwidth_gbps
+        else float("inf")
+    )
+    latency_ratio = (
+        candidate.latency.mean_ns / baseline.latency.mean_ns
+        if baseline.latency.mean_ns
+        else float("inf")
+    )
+    shared = set(baseline.cache_stats) & set(candidate.cache_stats)
+    deltas = {
+        name: candidate.cache_stats[name].hit_rate
+        - baseline.cache_stats[name].hit_rate
+        for name in sorted(shared)
+    }
+    return ResultComparison(
+        baseline_name=baseline.config_name,
+        candidate_name=candidate.config_name,
+        bandwidth_speedup=speedup,
+        utilization_delta=candidate.link_utilization - baseline.link_utilization,
+        drop_delta=candidate.packets.dropped - baseline.packets.dropped,
+        mean_latency_ratio=latency_ratio,
+        hit_rate_deltas=deltas,
+    )
+
+
+def comparison_table(
+    comparison: ResultComparison, title: Optional[str] = None
+) -> ExperimentTable:
+    """Render a :class:`ResultComparison` as an :class:`ExperimentTable`."""
+    table = ExperimentTable(
+        experiment_id="Comparison",
+        title=title
+        or f"{comparison.candidate_name} vs {comparison.baseline_name}",
+        columns=["metric", "value"],
+    )
+    table.add_row("bandwidth speedup", f"{comparison.bandwidth_speedup:.2f}x")
+    table.add_row(
+        "utilisation delta", f"{comparison.utilization_delta * 100:+.1f} pts"
+    )
+    table.add_row("drops delta", comparison.drop_delta)
+    table.add_row(
+        "mean latency ratio", f"{comparison.mean_latency_ratio:.2f}x"
+    )
+    for name, delta in comparison.hit_rate_deltas.items():
+        table.add_row(f"{name} hit-rate delta", f"{delta * 100:+.1f} pts")
+    return table

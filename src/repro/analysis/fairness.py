@@ -1,0 +1,103 @@
+"""Per-tenant throughput and fairness metrics.
+
+The paper's partitioning argument is about *performance isolation*: "it
+prevents a low-bandwidth tenant from evicting translations for
+high-bandwidth tenants."  These helpers quantify that claim from a
+:class:`~repro.core.results.SimulationResult`: per-tenant packet
+throughput, Jain's fairness index, and slowdown of victims in the
+presence of an antagonist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.core.results import SimulationResult
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair, 1/n is worst.
+
+    >>> jains_index([1.0, 1.0, 1.0])
+    1.0
+    >>> round(jains_index([1.0, 0.0, 0.0]), 3)
+    0.333
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("jains_index needs at least one value")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0  # everyone equally starved
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class TenantThroughput:
+    """One tenant's share of the processed traffic."""
+
+    sid: int
+    packets: int
+    share: float
+
+
+@dataclass
+class FairnessReport:
+    """Fairness analysis of one simulation run."""
+
+    per_tenant: Dict[int, TenantThroughput]
+    jain_index: float
+    min_share: float
+    max_share: float
+
+    @property
+    def max_min_ratio(self) -> float:
+        """Spread of tenant shares (1.0 = perfectly even)."""
+        return self.max_share / self.min_share if self.min_share else float("inf")
+
+
+def fairness_report(result: SimulationResult) -> FairnessReport:
+    """Compute per-tenant shares and Jain's index from a run's result."""
+    processed: Mapping[int, int] = result.packets.per_tenant_processed
+    if not processed:
+        raise ValueError("result contains no processed packets")
+    total = sum(processed.values())
+    per_tenant = {
+        sid: TenantThroughput(sid=sid, packets=count, share=count / total)
+        for sid, count in sorted(processed.items())
+    }
+    shares = [tenant.share for tenant in per_tenant.values()]
+    return FairnessReport(
+        per_tenant=per_tenant,
+        jain_index=jains_index(shares),
+        min_share=min(shares),
+        max_share=max(shares),
+    )
+
+
+def victim_slowdown(
+    baseline: SimulationResult,
+    contended: SimulationResult,
+    victim_sids: Sequence[int],
+) -> float:
+    """Mean victim throughput degradation between two runs.
+
+    Compares the victims' per-tenant packet rates (packets per simulated
+    nanosecond) between a baseline run and a run with an antagonist.
+    Returns the mean ratio ``contended_rate / baseline_rate`` across
+    victims — 1.0 means perfect isolation.
+    """
+    if not victim_sids:
+        raise ValueError("need at least one victim SID")
+    ratios = []
+    for sid in victim_sids:
+        base_packets = baseline.packets.per_tenant_processed.get(sid, 0)
+        cont_packets = contended.packets.per_tenant_processed.get(sid, 0)
+        base_rate = base_packets / baseline.elapsed_ns
+        cont_rate = cont_packets / contended.elapsed_ns
+        if base_rate == 0:
+            raise ValueError(f"victim {sid} processed nothing in the baseline")
+        ratios.append(cont_rate / base_rate)
+    return sum(ratios) / len(ratios)

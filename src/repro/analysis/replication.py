@@ -1,0 +1,86 @@
+"""Multi-seed replication of sweep points.
+
+Synthetic workloads carry seeded randomness (per-tenant irregularity,
+RAND interleaving, packet-size sampling), so a single run is one draw.
+:func:`replicate` runs the same sweep point across several seeds and
+summarises the spread, which is what a results section should report for
+any stochastic configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.scale import RunScale
+from repro.analysis.sweeps import SweepPoint, run_point
+from repro.core.config import ArchConfig
+
+
+@dataclass(frozen=True)
+class ReplicatedPoint:
+    """Summary of one sweep point across seeds."""
+
+    config_name: str
+    benchmark: str
+    num_tenants: int
+    interleaving: str
+    seeds: Tuple[int, ...]
+    utilizations: Tuple[float, ...]
+
+    @property
+    def mean_utilization(self) -> float:
+        return sum(self.utilizations) / len(self.utilizations)
+
+    @property
+    def std_utilization(self) -> float:
+        if len(self.utilizations) < 2:
+            return 0.0
+        mean = self.mean_utilization
+        variance = sum((u - mean) ** 2 for u in self.utilizations) / (
+            len(self.utilizations) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def min_utilization(self) -> float:
+        return min(self.utilizations)
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.utilizations)
+
+    def describe(self) -> str:
+        return (
+            f"{self.config_name} {self.benchmark} {self.num_tenants} "
+            f"tenants {self.interleaving}: "
+            f"{self.mean_utilization * 100:.1f}% "
+            f"+/- {self.std_utilization * 100:.1f} "
+            f"(n={len(self.seeds)})"
+        )
+
+
+def replicate(
+    config: ArchConfig,
+    benchmark: str,
+    num_tenants: int,
+    interleaving: str,
+    scale: RunScale,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ReplicatedPoint:
+    """Run one sweep point once per seed and summarise utilisation."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    points: List[SweepPoint] = [
+        run_point(config, benchmark, num_tenants, interleaving, scale, seed=seed)
+        for seed in seeds
+    ]
+    return ReplicatedPoint(
+        config_name=config.name,
+        benchmark=benchmark,
+        num_tenants=num_tenants,
+        interleaving=interleaving,
+        seeds=tuple(seeds),
+        utilizations=tuple(point.result.link_utilization for point in points),
+    )

@@ -1,0 +1,136 @@
+"""Parameter-sweep helpers shared by the experiment drivers.
+
+Traces are expensive to construct (page tables for every tenant), so a
+small keyed cache shares them between configurations evaluated at the same
+sweep point: simulators only read the tenant systems, never mutate them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.scale import RunScale
+from repro.core.config import ArchConfig
+from repro.core.results import SimulationResult
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import HyperTrace, construct_trace
+from repro.trace.tenant import profile_by_name
+
+#: Traces kept alive at once (each 1024-tenant trace is tens of MB).
+_TRACE_CACHE_CAPACITY = 8
+
+_trace_cache: "OrderedDict[Tuple, HyperTrace]" = OrderedDict()
+
+
+def cached_trace(
+    benchmark: str,
+    num_tenants: int,
+    interleaving: str,
+    scale: RunScale,
+    seed: int = 0,
+) -> HyperTrace:
+    """Construct (or reuse) the trace for one sweep point."""
+    max_packets = scale.packets_for(num_tenants)
+    key = (
+        benchmark,
+        num_tenants,
+        interleaving,
+        scale.packets_per_tenant,
+        max_packets,
+        seed,
+    )
+    trace = _trace_cache.get(key)
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        return trace
+    trace = construct_trace(
+        profile_by_name(benchmark),
+        num_tenants=num_tenants,
+        packets_per_tenant=scale.packets_per_tenant,
+        interleaving=interleaving,
+        seed=seed,
+        max_packets=max_packets,
+    )
+    _trace_cache[key] = trace
+    while len(_trace_cache) > _TRACE_CACHE_CAPACITY:
+        _trace_cache.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _trace_cache.clear()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (config, benchmark, tenants, interleaving) evaluation."""
+
+    config_name: str
+    benchmark: str
+    num_tenants: int
+    interleaving: str
+    result: SimulationResult
+
+    @property
+    def utilization_percent(self) -> float:
+        return self.result.link_utilization * 100.0
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.result.achieved_bandwidth_gbps
+
+
+def run_point(
+    config: ArchConfig,
+    benchmark: str,
+    num_tenants: int,
+    interleaving: str,
+    scale: RunScale,
+    native: bool = False,
+    seed: int = 0,
+) -> SweepPoint:
+    """Simulate one sweep point at the given scale."""
+    trace = cached_trace(benchmark, num_tenants, interleaving, scale, seed=seed)
+    warmup = scale.warmup_for(len(trace.packets))
+    simulator = HyperSimulator(config, trace, native=native)
+    result = simulator.run(warmup_packets=warmup)
+    return SweepPoint(
+        config_name=config.name,
+        benchmark=benchmark,
+        num_tenants=num_tenants,
+        interleaving=interleaving,
+        result=result,
+    )
+
+
+def sweep_tenants(
+    configs: Iterable[ArchConfig],
+    benchmarks: Iterable[str],
+    interleavings: Iterable[str],
+    scale: RunScale,
+    tenant_counts: Optional[Iterable[int]] = None,
+) -> List[SweepPoint]:
+    """Full cartesian sweep used by the scalability figures."""
+    counts = tuple(tenant_counts) if tenant_counts is not None else scale.tenant_counts
+    points: List[SweepPoint] = []
+    for benchmark in benchmarks:
+        for interleaving in interleavings:
+            for count in counts:
+                for config in configs:
+                    points.append(
+                        run_point(config, benchmark, count, interleaving, scale)
+                    )
+    return points
+
+
+def utilization_by_count(points: Iterable[SweepPoint]) -> Dict[Tuple, Dict[int, float]]:
+    """Group sweep points into series: (config, benchmark, interleaving) ->
+    {tenants: utilization%}."""
+    series: Dict[Tuple, Dict[int, float]] = {}
+    for point in points:
+        key = (point.config_name, point.benchmark, point.interleaving)
+        series.setdefault(key, {})[point.num_tenants] = point.utilization_percent
+    return series

@@ -1,0 +1,39 @@
+"""Translation-cache structures: policies, set-associative and partitioned.
+
+Public surface:
+
+* :class:`~repro.cache.base.TranslationCache` / :class:`~repro.cache.base.CacheStats`
+* :class:`~repro.cache.setassoc.SetAssociativeCache` and
+  :class:`~repro.cache.setassoc.FullyAssociativeCache`
+* :class:`~repro.cache.partitioned.PartitionedCache`
+* replacement policies in :mod:`repro.cache.policies`
+"""
+
+from repro.cache.base import CacheStats, TranslationCache
+from repro.cache.partitioned import PartitionedCache, partition_of
+from repro.cache.policies import (
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy_factory,
+)
+from repro.cache.setassoc import FullyAssociativeCache, SetAssociativeCache
+
+__all__ = [
+    "CacheStats",
+    "TranslationCache",
+    "SetAssociativeCache",
+    "FullyAssociativeCache",
+    "PartitionedCache",
+    "partition_of",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "LfuPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "OraclePolicy",
+    "make_policy_factory",
+]

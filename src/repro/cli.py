@@ -1,0 +1,222 @@
+"""Command-line interface for the HyperTRIO/HyperSIO reproduction.
+
+Subcommands::
+
+    repro-sim simulate    --benchmark mediastream --tenants 64 --config hypertrio
+    repro-sim sweep       --benchmark websearch --interleaving RR4
+    repro-sim characterize --benchmark mediastream --packets 95000
+    repro-sim experiment  figure10 [--scale default]
+    repro-sim list        # available experiments / benchmarks
+
+Installed as the ``repro-sim`` console script (see pyproject.toml); also
+runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.ascii_plot import chart_from_columns
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.scale import SCALE_ENV_VAR, RunScale, current_scale
+from repro.analysis.sweeps import run_point
+from repro.core.config import base_config, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace.characterize import characterize_single_tenant
+from repro.trace.collector import collect_single_tenant
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import BENCHMARKS, profile_by_name
+
+_CONFIGS = {"base": base_config, "hypertrio": hypertrio_config}
+
+
+def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmark", default="mediastream", choices=sorted(BENCHMARKS),
+        help="workload profile (default: mediastream)",
+    )
+    parser.add_argument(
+        "--interleaving", default="RR1",
+        help="inter-tenant order: RR<n> or RAND<n> (default: RR1)",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=12_000,
+        help="trace length cap in packets (default: 12000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = construct_trace(
+        profile_by_name(args.benchmark),
+        num_tenants=args.tenants,
+        packets_per_tenant=200_000,
+        interleaving=args.interleaving,
+        seed=args.seed,
+        max_packets=args.packets,
+    )
+    if args.config_file:
+        from repro.core.config_io import load_config
+
+        config = load_config(args.config_file)
+    else:
+        config = _CONFIGS[args.config]()
+    result = HyperSimulator(config, trace).run(
+        warmup_packets=len(trace.packets) // 4
+    )
+    print(result.summary())
+    if args.verbose:
+        for name, stats in sorted(result.cache_stats.items()):
+            print(f"  {name:16s} hit {stats.hit_rate * 100:5.1f}% "
+                  f"({stats.hits}/{stats.accesses})")
+        print(f"  mean request latency {result.latency.mean_ns:.0f} ns, "
+              f"drops {result.packets.dropped}")
+        if result.prefetch_requests:
+            print(f"  prefetch supplied "
+                  f"{result.prefetch_supplied_fraction * 100:.1f}%")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = current_scale()
+    counts = [int(c) for c in args.tenants.split(",")]
+    columns = {"Base": [], "HyperTRIO": []}
+    for count in counts:
+        for name, factory in (("Base", base_config), ("HyperTRIO", hypertrio_config)):
+            point = run_point(
+                factory(), args.benchmark, count, args.interleaving, scale
+            )
+            columns[name].append(point.utilization_percent)
+            print(
+                f"{name:10s} {count:5d} tenants: "
+                f"{point.utilization_percent:5.1f}%"
+            )
+    if args.chart and len(counts) > 1:
+        chart = chart_from_columns(
+            f"{args.benchmark} / {args.interleaving}: link utilisation %",
+            counts,
+            columns,
+            log_x=True,
+        )
+        print()
+        print(chart.render())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.benchmark)
+    if args.regular:
+        profile = dataclasses.replace(profile, jump_probability=0.0)
+    log = collect_single_tenant(profile, packets=args.packets, seed=args.seed)
+    analysis = characterize_single_tenant(log)
+    print(f"benchmark {args.benchmark}: {analysis.total_requests} requests")
+    for name in ("ring", "data", "init"):
+        group = analysis.groups[name]
+        print(
+            f"  {name:5s}: {group.page_count:3d} pages, "
+            f"{group.accesses_per_page:10.1f} accesses/page"
+        )
+    print(f"  periodic: {analysis.periodic}, "
+          f"mean run length {analysis.mean_run_length:.0f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.scale:
+        os.environ[SCALE_ENV_VAR] = args.scale
+    driver = ALL_EXPERIMENTS.get(args.name)
+    if driver is None:
+        print(f"unknown experiment {args.name!r}; see 'repro-sim list'",
+              file=sys.stderr)
+        return 2
+    import inspect
+
+    kwargs = {}
+    if "scale" in inspect.signature(driver).parameters:
+        kwargs["scale"] = current_scale()
+    table = driver(**kwargs)
+    print(table.render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in sorted(ALL_EXPERIMENTS):
+        print(f"  {name}")
+    print("benchmarks:")
+    for name in sorted(BENCHMARKS):
+        profile = BENCHMARKS[name]
+        print(
+            f"  {name:12s} active translation set "
+            f"{profile.active_translation_set}"
+        )
+    print("configs: base, hypertrio")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="HyperTRIO / HyperSIO reproduction (ISCA 2020)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run one configuration")
+    _add_common_workload_args(simulate)
+    simulate.add_argument("--tenants", type=int, default=64)
+    simulate.add_argument("--config", default="hypertrio", choices=sorted(_CONFIGS))
+    simulate.add_argument(
+        "--config-file", default=None,
+        help="load an ArchConfig JSON file instead of a named preset "
+             "(see repro.core.config_io)",
+    )
+    simulate.add_argument("-v", "--verbose", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    sweep = subparsers.add_parser("sweep", help="Base vs HyperTRIO tenant sweep")
+    _add_common_workload_args(sweep)
+    sweep.add_argument(
+        "--tenants", default="4,16,64,256",
+        help="comma-separated tenant counts (default: 4,16,64,256)",
+    )
+    sweep.add_argument("--chart", action="store_true", help="ASCII chart output")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="single-tenant Figure 8 analysis"
+    )
+    characterize.add_argument(
+        "--benchmark", default="mediastream", choices=sorted(BENCHMARKS)
+    )
+    characterize.add_argument("--packets", type=int, default=95_000)
+    characterize.add_argument("--seed", type=int, default=0)
+    characterize.add_argument(
+        "--regular", action="store_true",
+        help="disable the profile's irregularity (pure periodic stream)",
+    )
+    characterize.set_defaults(func=_cmd_characterize)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("name", help="e.g. figure10, table3")
+    experiment.add_argument("--scale", choices=("smoke", "default", "full"))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = subparsers.add_parser("list", help="list experiments and benchmarks")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

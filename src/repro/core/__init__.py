@@ -1,0 +1,52 @@
+"""HyperTRIO core: configuration presets, PTB, prefetching, assembly."""
+
+from repro.core.config import (
+    ArchConfig,
+    PrefetchConfig,
+    TimingParams,
+    TlbConfig,
+    base_config,
+    case_study_timing,
+    hypertrio_config,
+)
+from repro.core.config_io import (
+    ConfigFormatError,
+    config_from_json,
+    config_to_json,
+    load_config,
+    save_config,
+)
+from repro.core.hypertrio import TranslationPath, build_translation_path
+from repro.core.prefetch import (
+    IovaHistory,
+    PrefetchStats,
+    PrefetchUnit,
+    SidPredictor,
+)
+from repro.core.ptb import PendingTranslationBuffer, PtbStats
+from repro.core.results import RequestLatencyStats, SimulationResult
+
+__all__ = [
+    "ArchConfig",
+    "TlbConfig",
+    "TimingParams",
+    "PrefetchConfig",
+    "base_config",
+    "hypertrio_config",
+    "case_study_timing",
+    "ConfigFormatError",
+    "config_to_json",
+    "config_from_json",
+    "save_config",
+    "load_config",
+    "TranslationPath",
+    "build_translation_path",
+    "PendingTranslationBuffer",
+    "PtbStats",
+    "PrefetchUnit",
+    "SidPredictor",
+    "IovaHistory",
+    "PrefetchStats",
+    "RequestLatencyStats",
+    "SimulationResult",
+]

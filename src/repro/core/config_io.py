@@ -1,0 +1,160 @@
+"""JSON (de)serialisation of architecture configurations.
+
+Experiments should be reproducible from a file, not from code edits:
+``config_to_json`` / ``config_from_json`` round-trip an
+:class:`~repro.core.config.ArchConfig`, and the CLI's ``--config-file``
+option loads one.  The format is a plain nested JSON object mirroring the
+dataclass structure, with unknown keys rejected (typos should fail
+loudly, not run the wrong experiment).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.config import (
+    ArchConfig,
+    PrefetchConfig,
+    TimingParams,
+    TlbConfig,
+)
+
+
+class ConfigFormatError(ValueError):
+    """Raised when a configuration document does not parse."""
+
+
+def _check_keys(raw: Dict[str, Any], allowed, context: str) -> None:
+    unknown = set(raw) - set(allowed)
+    if unknown:
+        raise ConfigFormatError(
+            f"{context}: unknown keys {sorted(unknown)}; allowed: "
+            f"{sorted(allowed)}"
+        )
+
+
+def _tlb_to_dict(tlb: TlbConfig) -> Dict[str, Any]:
+    return {
+        "num_entries": tlb.num_entries,
+        "ways": tlb.ways,
+        "num_partitions": tlb.num_partitions,
+        "policy": tlb.policy,
+        "fully_associative": tlb.fully_associative,
+    }
+
+
+def _tlb_from_dict(raw: Dict[str, Any], context: str) -> TlbConfig:
+    _check_keys(
+        raw,
+        ("num_entries", "ways", "num_partitions", "policy", "fully_associative"),
+        context,
+    )
+    try:
+        return TlbConfig(**raw)
+    except (TypeError, ValueError) as error:
+        raise ConfigFormatError(f"{context}: {error}") from None
+
+
+def config_to_dict(config: ArchConfig) -> Dict[str, Any]:
+    """Serialise ``config`` to plain JSON-compatible data."""
+    timing = config.timing
+    prefetch = config.prefetch
+    document: Dict[str, Any] = {
+        "name": config.name,
+        "ptb_entries": config.ptb_entries,
+        "devtlb": _tlb_to_dict(config.devtlb),
+        "l2_tlb": _tlb_to_dict(config.l2_tlb),
+        "l3_tlb": _tlb_to_dict(config.l3_tlb),
+        "prefetch": {
+            "enabled": prefetch.enabled,
+            "buffer_entries": prefetch.buffer_entries,
+            "history_length": prefetch.history_length,
+            "pages_per_tenant": prefetch.pages_per_tenant,
+        },
+        "timing": {
+            "pcie_one_way_ns": timing.pcie_one_way_ns,
+            "dram_latency_ns": timing.dram_latency_ns,
+            "iotlb_hit_ns": timing.iotlb_hit_ns,
+            "packet_bytes": timing.packet_bytes,
+            "link_bandwidth_gbps": timing.link_bandwidth_gbps,
+        },
+        "iommu_walkers": config.iommu_walkers,
+    }
+    if config.chipset_iotlb is not None:
+        document["chipset_iotlb"] = _tlb_to_dict(config.chipset_iotlb)
+    return document
+
+
+def config_from_dict(raw: Dict[str, Any]) -> ArchConfig:
+    """Parse an :class:`ArchConfig` from plain data (strict)."""
+    _check_keys(
+        raw,
+        (
+            "name", "ptb_entries", "devtlb", "l2_tlb", "l3_tlb",
+            "prefetch", "timing", "chipset_iotlb", "iommu_walkers",
+        ),
+        "config",
+    )
+    for required in ("name", "ptb_entries", "devtlb", "l2_tlb", "l3_tlb"):
+        if required not in raw:
+            raise ConfigFormatError(f"config: missing required key {required!r}")
+    prefetch_raw = raw.get("prefetch", {})
+    _check_keys(
+        prefetch_raw,
+        ("enabled", "buffer_entries", "history_length", "pages_per_tenant"),
+        "prefetch",
+    )
+    timing_raw = raw.get("timing", {})
+    _check_keys(
+        timing_raw,
+        (
+            "pcie_one_way_ns", "dram_latency_ns", "iotlb_hit_ns",
+            "packet_bytes", "link_bandwidth_gbps",
+        ),
+        "timing",
+    )
+    chipset: Optional[TlbConfig] = None
+    if "chipset_iotlb" in raw:
+        chipset = _tlb_from_dict(raw["chipset_iotlb"], "chipset_iotlb")
+    try:
+        return ArchConfig(
+            name=raw["name"],
+            ptb_entries=raw["ptb_entries"],
+            devtlb=_tlb_from_dict(raw["devtlb"], "devtlb"),
+            l2_tlb=_tlb_from_dict(raw["l2_tlb"], "l2_tlb"),
+            l3_tlb=_tlb_from_dict(raw["l3_tlb"], "l3_tlb"),
+            prefetch=PrefetchConfig(**prefetch_raw),
+            timing=TimingParams(**timing_raw),
+            chipset_iotlb=chipset,
+            iommu_walkers=raw.get("iommu_walkers"),
+        )
+    except (TypeError, ValueError) as error:
+        raise ConfigFormatError(f"config: {error}") from None
+
+
+def config_to_json(config: ArchConfig, indent: int = 2) -> str:
+    """Serialise ``config`` to a JSON string."""
+    return json.dumps(config_to_dict(config), indent=indent)
+
+
+def config_from_json(text: str) -> ArchConfig:
+    """Parse a JSON string into an :class:`ArchConfig`."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigFormatError(f"invalid JSON: {error}") from None
+    if not isinstance(raw, dict):
+        raise ConfigFormatError("config document must be a JSON object")
+    return config_from_dict(raw)
+
+
+def save_config(config: ArchConfig, path: Path) -> None:
+    """Write ``config`` to ``path`` as JSON."""
+    Path(path).write_text(config_to_json(config) + "\n", encoding="utf-8")
+
+
+def load_config(path: Path) -> ArchConfig:
+    """Load an :class:`ArchConfig` from a JSON file."""
+    return config_from_json(Path(path).read_text(encoding="utf-8"))

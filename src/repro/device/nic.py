@@ -1,0 +1,152 @@
+"""A self-contained NIC device model with a step-by-step API.
+
+The performance model in :mod:`repro.sim` drives the translation path
+directly for speed.  :class:`NicDevice` wraps the same structures behind
+the interface a device actually has — ``receive(packet, now)`` — so the
+library can also be used interactively: feed packets one at a time and
+inspect exactly what each translation did (Figure 3's steps, with
+latencies).
+
+This is the recommended entry point for experimenting with the
+architecture outside of full trace replays::
+
+    from repro.core import hypertrio_config
+    from repro.device.nic import NicDevice
+    from repro.trace import construct_trace
+
+    trace = construct_trace(...)
+    nic = NicDevice(hypertrio_config(), trace.system)
+    report = nic.receive(trace.packets[0], now=0.0)
+    for step in report.requests:
+        print(step.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import ArchConfig
+from repro.device.packet import REQUESTS_PER_PACKET, RequestKind
+from repro.trace.records import PacketRecord
+from repro.trace.workload import HyperTenantSystem
+
+
+@dataclass(frozen=True)
+class RequestReport:
+    """What happened to one translation request."""
+
+    kind: RequestKind
+    giova: int
+    hpa: Optional[int]
+    source: str  # "devtlb" | "prefetch-buffer" | "iommu"
+    latency_ns: float
+    completed_at: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value:8s} gIOVA {self.giova:#012x} -> "
+            f"hPA {self.hpa:#012x} via {self.source:15s} "
+            f"({self.latency_ns:7.1f} ns)"
+        )
+
+
+@dataclass(frozen=True)
+class PacketReport:
+    """Outcome of offering one packet to the device."""
+
+    accepted: bool
+    requests: Tuple[RequestReport, ...]
+    completed_at: float
+
+    @property
+    def translation_latency_ns(self) -> float:
+        if not self.requests:
+            return 0.0
+        return max(request.latency_ns for request in self.requests)
+
+
+class NicDevice:
+    """One shared device (DevTLB + PTB + optional PU) plus its chipset."""
+
+    def __init__(self, config: ArchConfig, system: HyperTenantSystem):
+        # Imported here: repro.core.hypertrio builds DevTLBs via
+        # repro.device, so a module-level import would be circular.
+        from repro.core.hypertrio import build_translation_path
+
+        self.config = config
+        self.system = system
+        self.path = build_translation_path(
+            config, walker_for_sid=system.walker_for, sids=system.sids()
+        )
+        self.packets_offered = 0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: PacketRecord, now: float) -> PacketReport:
+        """Offer one packet at time ``now``; translate or drop it."""
+        self.packets_offered += 1
+        ptb = self.path.ptb
+        if not ptb.can_accept(now):
+            ptb.reject_packet()
+            self.packets_dropped += 1
+            return PacketReport(accepted=False, requests=(), completed_at=now)
+        reports: List[RequestReport] = []
+        completed = now
+        for giova, kind in zip(packet.giovas, REQUESTS_PER_PACKET):
+            report = self._translate(now, packet.sid, giova, kind)
+            reports.append(report)
+            completed = max(completed, report.completed_at)
+        return PacketReport(
+            accepted=True, requests=tuple(reports), completed_at=completed
+        )
+
+    def _translate(
+        self, now: float, sid: int, giova: int, kind: RequestKind
+    ) -> RequestReport:
+        timing = self.config.timing
+        path = self.path
+        page = giova >> 12
+        key = (sid, page)
+        latency = timing.iotlb_hit_ns
+        source = "devtlb"
+        hpa = None
+        cached = path.devtlb.lookup(key)
+        if cached is not None:
+            hpa = cached[0]
+        elif path.prefetch_unit is not None and (
+            pb_entry := path.prefetch_unit.lookup(sid, page)
+        ):
+            source = "prefetch-buffer"
+            hpa = pb_entry[0]
+        else:
+            source = "iommu"
+            outcome = path.iommu.translate(sid, giova)
+            latency += 2 * timing.pcie_one_way_ns + outcome.latency_ns
+            path.devtlb.insert(key, (outcome.hpa, outcome.page_shift, False))
+            hpa = outcome.hpa
+        completed = path.ptb.issue(now, latency)
+        return RequestReport(
+            kind=kind,
+            giova=giova,
+            hpa=hpa,
+            source=source,
+            latency_ns=latency,
+            completed_at=completed,
+        )
+
+    # ------------------------------------------------------------------
+    def invalidate(self, sid: int, giova: int) -> bool:
+        """Drop a cached translation (ATS invalidation from the host)."""
+        key = (sid, giova >> 12)
+        present = self.path.devtlb.invalidate(key)
+        self.path.iommu.iotlb.invalidate(key)
+        if self.path.prefetch_unit is not None:
+            self.path.prefetch_unit.buffer.invalidate(key)
+        return present
+
+    @property
+    def drop_rate(self) -> float:
+        if not self.packets_offered:
+            return 0.0
+        return self.packets_dropped / self.packets_offered

@@ -1,0 +1,86 @@
+"""Packets and the translation requests they trigger.
+
+Each packet accepted from the I/O link generates three gIOVA translation
+requests (Section IV-C of the paper): the ring-buffer pointer, the data
+buffer, and the interrupt-mailbox notification address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+
+class RequestKind(Enum):
+    """Which of a packet's three translations a request represents."""
+
+    RING_POINTER = "ring"
+    DATA_BUFFER = "data"
+    MAILBOX = "mailbox"
+
+
+#: The per-packet request kinds, in issue order.
+REQUESTS_PER_PACKET: Tuple[RequestKind, ...] = (
+    RequestKind.RING_POINTER,
+    RequestKind.DATA_BUFFER,
+    RequestKind.MAILBOX,
+)
+
+
+@dataclass(frozen=True)
+class TranslationRequest:
+    """One gIOVA translation demanded by a packet."""
+
+    sid: int
+    giova: int
+    kind: RequestKind
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """DevTLB/IOTLB lookup key: ``(sid, giova_page)`` for 4 KB pages."""
+        return (self.sid, self.giova >> 12)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A packet arriving on the I/O link for tenant ``sid``.
+
+    ``giovas`` are the three addresses the device must translate, ordered as
+    :data:`REQUESTS_PER_PACKET`; ``size_bytes`` includes Ethernet framing
+    plus inter-packet gap (1542 B in Table II).
+    """
+
+    sid: int
+    giovas: Tuple[int, int, int]
+    size_bytes: int = 1542
+    sequence: int = 0
+
+    def requests(self) -> Tuple[TranslationRequest, ...]:
+        """The translation requests this packet generates, in order."""
+        return tuple(
+            TranslationRequest(sid=self.sid, giova=giova, kind=kind)
+            for giova, kind in zip(self.giovas, REQUESTS_PER_PACKET)
+        )
+
+
+@dataclass
+class PacketStats:
+    """Device-level packet accounting."""
+
+    arrived: int = 0
+    accepted: int = 0
+    dropped: int = 0
+    retried: int = 0
+    bytes_processed: int = 0
+    per_tenant_processed: dict = field(default_factory=dict)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.arrived if self.arrived else 0.0
+
+    def record_processed(self, packet: Packet) -> None:
+        self.bytes_processed += packet.size_bytes
+        self.per_tenant_processed[packet.sid] = (
+            self.per_tenant_processed.get(packet.sid, 0) + 1
+        )

@@ -1,0 +1,14 @@
+"""Chipset translation subsystem: context cache, IOTLB, nested TLBs, walker."""
+
+from repro.iommu.context import ContextCache, ContextEntry, ContextResolution, SourceId
+from repro.iommu.iommu import Iommu, IommuTimings, TranslationOutcome
+
+__all__ = [
+    "ContextCache",
+    "ContextEntry",
+    "ContextResolution",
+    "SourceId",
+    "Iommu",
+    "IommuTimings",
+    "TranslationOutcome",
+]

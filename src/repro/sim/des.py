@@ -1,0 +1,253 @@
+"""Event-queue twin of the analytic performance model.
+
+The paper's original performance model is event-driven ("a new event is
+scheduled in a queue for a corresponding structure", Section IV-C).  The
+main :class:`~repro.sim.simulator.HyperSimulator` in this repository is
+*analytic*: because every request's latency is fully determined at issue,
+packet arrivals can be replayed in order without an event queue.
+
+:class:`EventDrivenSimulator` re-implements the same semantics on top of
+an explicit event queue: packet arrivals chain along the serial link (one
+outstanding arrival event at a time, as the wire delivers packets in
+order), drop-and-retry admissions reschedule, and prefetch installs fire
+as their own events.  Given identical inputs the two engines must produce
+*identical* results; ``tests/test_des.py`` asserts exactly that, which
+validates the analytic shortcut.  The event engine is also the natural
+extension point for behaviours a closed-form replay cannot express (e.g.
+time-varying link rates), so it is a public part of the library, not just
+a test fixture.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, List, Optional
+
+from repro.core.config import ArchConfig
+from repro.core.results import SimulationResult
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import HyperTrace
+
+
+class EventKind(IntEnum):
+    """Event kinds, ordered by dispatch priority at equal timestamps.
+
+    Prefetch installs must be visible to a packet arriving at the same
+    instant (the analytic model drains installs with
+    ``install_time <= arrival`` first), hence the lower priority value.
+    """
+
+    PREFETCH_INSTALL = 0
+    PACKET_ARRIVAL = 1
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; orders by (time, kind, sequence)."""
+
+    time: float
+    kind: EventKind
+    sequence: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A time-ordered event queue with stable tie-breaking."""
+
+    def __init__(self):
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> None:
+        heapq.heappush(self._heap, Event(time, kind, next(self._counter), payload))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class EventDrivenSimulator(HyperSimulator):
+    """The performance model, driven by an explicit event queue.
+
+    Reuses every structural component of :class:`HyperSimulator` (caches,
+    PTB, prefetch unit, request processing); only the top-level control
+    flow differs.
+    """
+
+    def run(
+        self, max_packets: Optional[int] = None, warmup_packets: int = 0
+    ) -> SimulationResult:
+        timing = self.config.timing
+        bits_per_ns = timing.link_bandwidth_gbps  # Gb/s == bits/ns
+        packets = self.trace.packets
+        if max_packets is not None:
+            packets = packets[:max_packets]
+        if warmup_packets >= len(packets):
+            raise ValueError(
+                f"warmup ({warmup_packets}) must be shorter than the trace "
+                f"({len(packets)} packets)"
+            )
+
+        def wire_time(packet) -> float:
+            if packet.size_bytes == timing.packet_bytes:
+                return timing.packet_interarrival_ns
+            return packet.size_bytes * 8 / bits_per_ns
+
+        queue = EventQueue()
+        state = _RunState()
+        if packets:
+            # The link is serial: exactly one arrival is outstanding at any
+            # time, and accepting packet i schedules packet i+1.
+            queue.schedule(
+                wire_time(packets[0]),
+                EventKind.PACKET_ARRIVAL,
+                _Arrival(index=0, is_retry=False),
+            )
+
+        while queue:
+            event = queue.pop()
+            if event.kind is EventKind.PREFETCH_INSTALL:
+                sid, page, hpa, page_shift = event.payload
+                self._apply_install(sid, page, hpa, page_shift)
+                continue
+            self._dispatch_arrival(
+                queue, event.time, event.payload, packets, wire_time,
+                warmup_packets, state,
+            )
+
+        elapsed = max(state.last_completion, state.last_arrival)
+        return self._build_result(
+            elapsed,
+            measure_from_ns=state.measure_from_ns,
+            measure_from_bytes=state.measure_from_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch_arrival(
+        self, queue, arrival, marker, packets, wire_time, warmup_packets, state
+    ):
+        packet = packets[marker.index]
+        wire_ns = wire_time(packet)
+        if not marker.is_retry:
+            self.packet_stats.arrived += 1
+
+        if self.native:
+            self.packet_stats.accepted += 1
+            self.packet_stats.record_processed(packet)
+            self._finish_packet(
+                queue, arrival, arrival, marker.index, packets, wire_time,
+                warmup_packets, state,
+            )
+            return
+
+        ptb = self.path.ptb
+        if not ptb.can_accept(arrival):
+            ptb.reject_packet()
+            self.packet_stats.dropped += 1
+            self.packet_stats.retried += 1
+            free_at = ptb.earliest_free_time(arrival)
+            slots = max(1, math.ceil((free_at - arrival) / wire_ns))
+            queue.schedule(
+                arrival + slots * wire_ns,
+                EventKind.PACKET_ARRIVAL,
+                _Arrival(index=marker.index, is_retry=True),
+            )
+            return
+
+        self.packet_stats.accepted += 1
+        if packet.invalidations:
+            self._invalidate_pages(packet.sid, packet.invalidations)
+        if self.path.prefetch_unit is not None:
+            self._maybe_prefetch_evented(queue, arrival, packet.sid)
+        completion = arrival
+        for giova in packet.giovas:
+            finished = self._process_request(arrival, packet.sid, giova)
+            completion = max(completion, finished)
+        self.packet_stats.record_processed(packet)
+        self._finish_packet(
+            queue, arrival, completion, marker.index, packets, wire_time,
+            warmup_packets, state,
+        )
+
+    def _finish_packet(
+        self, queue, arrival, completion, index, packets, wire_time,
+        warmup_packets, state,
+    ):
+        state.last_arrival = max(state.last_arrival, arrival)
+        state.last_completion = max(state.last_completion, completion)
+        state.processed += 1
+        if self.telemetry is not None:
+            self._sample_telemetry(arrival, packets[index])
+        if warmup_packets and state.processed == warmup_packets:
+            state.measure_from_ns = max(state.last_completion, state.last_arrival)
+            state.measure_from_bytes = self.packet_stats.bytes_processed
+        next_index = index + 1
+        if next_index < len(packets):
+            queue.schedule(
+                arrival + wire_time(packets[next_index]),
+                EventKind.PACKET_ARRIVAL,
+                _Arrival(index=next_index, is_retry=False),
+            )
+
+    # ------------------------------------------------------------------
+    def _maybe_prefetch_evented(self, queue: EventQueue, now: float, sid: int):
+        """Run the shared prefetch logic, then lift installs into events."""
+        before = len(self._pending_installs)
+        self._maybe_prefetch(now, sid)
+        if len(self._pending_installs) == before:
+            return
+        for entry in self._pending_installs:
+            install_time, psid, page, hpa, page_shift = entry
+            queue.schedule(
+                install_time,
+                EventKind.PREFETCH_INSTALL,
+                (psid, page, hpa, page_shift),
+            )
+        self._pending_installs.clear()
+
+
+@dataclass
+class _Arrival:
+    """Payload of a PACKET_ARRIVAL event."""
+
+    index: int
+    is_retry: bool
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping threaded through the event loop."""
+
+    last_arrival: float = 0.0
+    last_completion: float = 0.0
+    processed: int = 0
+    measure_from_ns: float = 0.0
+    measure_from_bytes: int = 0
+
+
+def simulate_evented(
+    config: ArchConfig,
+    trace: HyperTrace,
+    native: bool = False,
+    max_packets: Optional[int] = None,
+    warmup_packets: int = 0,
+) -> SimulationResult:
+    """One-call convenience mirroring :func:`repro.sim.simulator.simulate`."""
+    simulator = EventDrivenSimulator(config, trace, native=native)
+    return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)

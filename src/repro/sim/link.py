@@ -1,0 +1,50 @@
+"""I/O link arrival process helpers.
+
+The performance model assumes a fully utilised link: the next packet
+arrival time follows from link bandwidth and packet size (Section IV-C).
+These helpers centralise the slot arithmetic used by the simulator's
+drop-and-retry admission and by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IoLink:
+    """A saturated link delivering fixed-size packets back to back."""
+
+    bandwidth_gbps: float
+    packet_bytes: int = 1542
+
+    def __post_init__(self):
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.packet_bytes < 1:
+            raise ValueError("packet size must be positive")
+
+    @property
+    def interarrival_ns(self) -> float:
+        """Time between packet arrivals on the saturated link."""
+        return self.packet_bytes * 8 / self.bandwidth_gbps
+
+    def slot_at_or_after(self, origin_ns: float, time_ns: float) -> float:
+        """First arrival slot at or after ``time_ns``, given slot 0 at origin."""
+        if time_ns <= origin_ns:
+            return origin_ns
+        slots = math.ceil((time_ns - origin_ns) / self.interarrival_ns)
+        return origin_ns + slots * self.interarrival_ns
+
+    def packets_in(self, duration_ns: float) -> int:
+        """Packets the link delivers in ``duration_ns``."""
+        if duration_ns < 0:
+            raise ValueError("duration cannot be negative")
+        return int(duration_ns / self.interarrival_ns)
+
+    def bandwidth_for_packets(self, packets: int, elapsed_ns: float) -> float:
+        """Achieved bandwidth (Gb/s) for ``packets`` over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return packets * self.packet_bytes * 8 / elapsed_ns

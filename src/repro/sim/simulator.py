@@ -1,0 +1,393 @@
+"""HyperSIO's trace-driven device-system performance model.
+
+Reimplements the paper's C++ performance model (Section IV-C): packets
+arrive at intervals set by the link bandwidth and packet size; each accepted
+packet generates three translation requests (ring pointer, data buffer,
+mailbox); a packet is dropped — and retried at the next arrival slot — when
+the Pending Translation Buffer has no free entry.  Requests that hit in the
+DevTLB or Prefetch Buffer complete at device speed; misses cross PCIe to the
+IOMMU, which may perform a two-dimensional page-table walk, and cross PCIe
+back.  At the end of a run, achieved bandwidth is total bytes processed
+divided by the time taken to translate everything.
+
+Timing is analytic rather than event-queued: each request's latency is
+fully determined at issue, so PTB occupancy and bounded IOMMU walker pools
+are tracked as min-heaps of completion times (exact for this model).  Two
+documented approximations, both also present in trace-driven models of this
+kind: cache state is updated in trace order (a request that arrives while a
+fill for the same page is still in flight counts as a hit — zero-cost
+hit-under-miss), and a prefetch updates chipset cache state when issued
+while its device-side installs are delayed by the full prefetch latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ArchConfig
+from repro.core.hypertrio import TranslationPath, build_translation_path
+from repro.core.results import RequestLatencyStats, SimulationResult
+from repro.device.packet import PacketStats
+from repro.sim.oracle import FutureOracle, oracle_for_trace
+from repro.sim.resources import ResourcePool, UnboundedPool
+from repro.trace.constructor import HyperTrace
+
+
+class HyperSimulator:
+    """Run one :class:`~repro.trace.constructor.HyperTrace` through a config.
+
+    Parameters
+    ----------
+    config:
+        Architecture to model (see :func:`repro.core.config.base_config` and
+        :func:`repro.core.config.hypertrio_config`).
+    trace:
+        The hyper-trace plus the tenant system behind it.
+    native:
+        Model a non-virtualised host interface: no address translation at
+        all (used by the Figure 5 case study's "host" series).
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        trace: HyperTrace,
+        native: bool = False,
+        telemetry=None,
+    ):
+        self.config = config
+        self.trace = trace
+        self.native = native
+        self.telemetry = telemetry
+        self._oracle: Optional[FutureOracle] = None
+        next_use = None
+        if config.devtlb.policy.lower() == "oracle":
+            self._oracle = oracle_for_trace(trace.packets)
+            next_use = self._oracle.next_use
+        self.path: TranslationPath = build_translation_path(
+            config,
+            walker_for_sid=trace.system.walker_for,
+            sids=trace.system.sids(),
+            devtlb_next_use=next_use,
+        )
+        if config.iommu_walkers is None:
+            self._walker_pool = UnboundedPool()
+        else:
+            self._walker_pool = ResourcePool(config.iommu_walkers)
+        self.packet_stats = PacketStats()
+        self.latency_stats = RequestLatencyStats()
+        # Prefetch plumbing: installs pending their arrival back at the
+        # device, keyed min-heap by install time.
+        self._pending_installs: List[Tuple[float, int, int, int, int]] = []
+        self._inflight_prefetches: set = set()
+        self._last_predicted_sid: Optional[int] = None
+        #: ATS-style invalidation messages sent to the device (driver
+        #: unmap events in the trace).
+        self.invalidation_messages = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self, max_packets: Optional[int] = None, warmup_packets: int = 0
+    ) -> SimulationResult:
+        """Simulate the trace and return the measured result.
+
+        ``warmup_packets`` excludes the cold-start transient from the
+        bandwidth measurement (caches and predictors keep their state; only
+        the byte/time accounting restarts), mirroring the paper's
+        steady-state methodology (workloads run 60-360 s and traces stop
+        before any tenant drains).
+        """
+        timing = self.config.timing
+        interarrival = timing.packet_interarrival_ns
+        ptb = self.path.ptb
+        packets = self.trace.packets
+        if max_packets is not None:
+            packets = packets[:max_packets]
+        if warmup_packets >= len(packets):
+            raise ValueError(
+                f"warmup ({warmup_packets}) must be shorter than the trace "
+                f"({len(packets)} packets)"
+            )
+
+        bits_per_ns = timing.link_bandwidth_gbps  # Gb/s == bits/ns
+        clock = 0.0
+        last_completion = 0.0
+        measure_from_ns = 0.0
+        measure_from_bytes = 0
+        processed = 0
+        for packet in packets:
+            # Per-packet wire time: small packets (e.g. key-value traffic)
+            # arrive faster than full frames.
+            if packet.size_bytes == timing.packet_bytes:
+                wire_ns = interarrival
+            else:
+                wire_ns = packet.size_bytes * 8 / bits_per_ns
+            arrival = clock + wire_ns
+            self.packet_stats.arrived += 1
+            if self.native:
+                # No translation: the packet is processed at line rate.
+                self.packet_stats.accepted += 1
+                self.packet_stats.record_processed(packet)
+                clock = arrival
+                last_completion = max(last_completion, arrival)
+                processed += 1
+                if warmup_packets and processed == warmup_packets:
+                    measure_from_ns = arrival
+                    measure_from_bytes = self.packet_stats.bytes_processed
+                continue
+
+            arrival = self._admit(arrival, wire_ns, ptb)
+            self.packet_stats.accepted += 1
+            if packet.invalidations:
+                self._invalidate_pages(packet.sid, packet.invalidations)
+            self._drain_prefetch_installs(arrival)
+            if self.path.prefetch_unit is not None:
+                self._maybe_prefetch(arrival, packet.sid)
+            completion = arrival
+            for giova in packet.giovas:
+                finished = self._process_request(arrival, packet.sid, giova)
+                completion = max(completion, finished)
+            self.packet_stats.record_processed(packet)
+            last_completion = max(last_completion, completion)
+            clock = arrival
+            processed += 1
+            if self.telemetry is not None:
+                self._sample_telemetry(arrival, packet)
+            if warmup_packets and processed == warmup_packets:
+                measure_from_ns = max(last_completion, clock)
+                measure_from_bytes = self.packet_stats.bytes_processed
+
+        # Apply prefetches still in flight when the trace ends, so final
+        # cache-state accounting matches the event-driven engine.
+        self._drain_prefetch_installs(float("inf"))
+        elapsed = max(last_completion, clock)
+        return self._build_result(
+            elapsed,
+            measure_from_ns=measure_from_ns,
+            measure_from_bytes=measure_from_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _admit(self, arrival: float, interarrival: float, ptb) -> float:
+        """Drop-and-retry until a PTB entry is free at an arrival slot.
+
+        Dropped packets are retried at the next slot (Section IV-C), so the
+        trace is eventually fully consumed; lost slots surface as stretched
+        elapsed time, i.e. reduced average bandwidth.
+        """
+        while not ptb.can_accept(arrival):
+            ptb.reject_packet()
+            self.packet_stats.dropped += 1
+            self.packet_stats.retried += 1
+            free_at = ptb.earliest_free_time(arrival)
+            slots = max(1, math.ceil((free_at - arrival) / interarrival))
+            arrival += slots * interarrival
+        return arrival
+
+    # ------------------------------------------------------------------
+    def _process_request(self, now: float, sid: int, giova: int) -> float:
+        """Translate one gIOVA; returns its completion time."""
+        timing = self.config.timing
+        path = self.path
+        page = giova >> 12
+        key = (sid, page)
+
+        if self._oracle is not None:
+            self._oracle.consume(key)
+        if path.iova_history is not None:
+            path.iova_history.record(sid, page)
+
+        latency = timing.iotlb_hit_ns  # DevTLB lookup itself
+        cached = path.devtlb.lookup(key)
+        hit = cached is not None
+        if hit and cached[2]:
+            # First demand hit on a prefetched entry: credit the prefetcher
+            # and clear the provenance flag.
+            path.prefetch_unit.stats.supplied_translations += 1
+            path.devtlb.insert(key, (cached[0], cached[1], False))
+        if not hit and path.prefetch_unit is not None:
+            if path.prefetch_unit.lookup(sid, page) is not None:
+                hit = True
+                path.prefetch_unit.stats.supplied_translations += 1
+        if not hit:
+            # Miss: cross PCIe, translate at the chipset, cross back.
+            outcome = path.iommu.translate(sid, giova)
+            _, served = self._walker_pool.acquire(
+                now + timing.pcie_one_way_ns, outcome.latency_ns
+            )
+            chipset_time = served - (now + timing.pcie_one_way_ns)
+            latency += 2 * timing.pcie_one_way_ns + chipset_time
+            path.devtlb.insert(key, (outcome.hpa, outcome.page_shift, False))
+        completion = path.ptb.issue(now, latency)
+        self.latency_stats.record(latency)
+        return completion
+
+    # ------------------------------------------------------------------
+    def _sample_telemetry(self, now: float, packet) -> None:
+        path = self.path
+        supplied = (
+            path.prefetch_unit.stats.supplied_translations
+            if path.prefetch_unit is not None
+            else 0
+        )
+        self.telemetry.on_packet(
+            now_ns=now,
+            size_bytes=packet.size_bytes,
+            devtlb_stats=path.devtlb.stats,
+            supplied=supplied,
+            requests=self.latency_stats.count,
+            drops=self.packet_stats.dropped,
+            ptb_occupancy=path.ptb.occupancy(now),
+        )
+
+    # ------------------------------------------------------------------
+    def _invalidate_pages(self, sid: int, pages) -> None:
+        """Flush unmapped pages from every translation structure.
+
+        Driven by a trace's invalidation events (driver unmap before
+        advancing to the next data page).  The nested TLB and PTE cache
+        keep their entries — those cache page-table structure that survives
+        a leaf remap — while the final-translation caches must drop theirs.
+        """
+        path = self.path
+        for page in pages:
+            self.invalidation_messages += 1
+            key = (sid, page)
+            path.devtlb.invalidate(key)
+            path.iommu.iotlb.invalidate(key)
+            if path.prefetch_unit is not None:
+                path.prefetch_unit.buffer.invalidate(key)
+            self._inflight_prefetches.discard(key)
+            walker = self.trace.system.walker_for(sid)
+            walker.invalidate(page << 12)
+
+    # ------------------------------------------------------------------
+    # Prefetching
+    # ------------------------------------------------------------------
+    def _maybe_prefetch(self, now: float, sid: int) -> None:
+        """Observe the SID stream; issue a prefetch for the predicted SID."""
+        pu = self.path.prefetch_unit
+        history = self.path.iova_history
+        predicted = pu.observe_and_predict(sid)
+        if predicted is None or predicted == self._last_predicted_sid:
+            return
+        self._last_predicted_sid = predicted
+        pages = history.most_recent(predicted)[: self.config.prefetch.pages_per_tenant]
+        if not pages:
+            return
+        timing = self.config.timing
+        # The chipset-side IOVA history reader: PCIe out, one memory read of
+        # the history record, then concurrent IOMMU translations of the
+        # predicted pages, PCIe back.
+        base_latency = self.path.memory.read("history")
+        issued = 0
+        for page in pages:
+            if pu.buffer.contains((predicted, page)):
+                continue
+            if (predicted, page) in self._inflight_prefetches:
+                continue
+            outcome = self.path.iommu.translate(predicted, page << 12)
+            install_time = (
+                now + 2 * timing.pcie_one_way_ns + base_latency + outcome.latency_ns
+            )
+            self._pending_installs.append(
+                (install_time, predicted, page, outcome.hpa, outcome.page_shift)
+            )
+            self._inflight_prefetches.add((predicted, page))
+            issued += 1
+        if issued:
+            self._pending_installs.sort(key=lambda item: item[0])
+            pu.note_prefetch_issued(issued)
+
+    def _apply_install(self, sid: int, page: int, hpa: int, page_shift: int) -> None:
+        """Apply one completed prefetch at the device.
+
+        The translation enters the Prefetch Buffer and the (partitioned)
+        DevTLB, the latter with prefetch-aware insertion priority and a pin
+        so demand-miss bursts cannot evict it before the predicted tenant's
+        turn (DESIGN.md calls this install decision out for ablation).
+        """
+        self.path.prefetch_unit.install(sid, page, hpa, page_shift)
+        self.path.devtlb.insert(
+            (sid, page), (hpa, page_shift, True), priority=1, pinned=True
+        )
+        self._inflight_prefetches.discard((sid, page))
+
+    def _drain_prefetch_installs(self, now: float) -> None:
+        """Install completed prefetches into the PB and the DevTLB."""
+        pu = self.path.prefetch_unit
+        if pu is None or not self._pending_installs:
+            return
+        pending = self._pending_installs
+        index = 0
+        while index < len(pending) and pending[index][0] <= now:
+            _, sid, page, hpa, page_shift = pending[index]
+            self._apply_install(sid, page, hpa, page_shift)
+            index += 1
+        if index:
+            del pending[:index]
+
+    # ------------------------------------------------------------------
+    def _build_result(
+        self,
+        elapsed_ns: float,
+        measure_from_ns: float = 0.0,
+        measure_from_bytes: int = 0,
+    ) -> SimulationResult:
+        timing = self.config.timing
+        measured_bits = (self.packet_stats.bytes_processed - measure_from_bytes) * 8
+        window_ns = elapsed_ns - measure_from_ns
+        achieved = measured_bits / window_ns if window_ns > 0 else 0.0
+        path = self.path
+        cache_stats = {
+            "devtlb": path.devtlb.stats,
+            "iotlb": path.iommu.iotlb.stats,
+            "nested_tlb": path.iommu.nested_tlb.stats,
+            "pte_cache": path.iommu.pte_cache.stats,
+            "context": path.context_cache.stats,
+        }
+        pb_hit_rate = 0.0
+        prefetch_requests = 0
+        prefetch_supplied = 0
+        if path.prefetch_unit is not None:
+            cache_stats["prefetch_buffer"] = path.prefetch_unit.buffer.stats
+            pb_hit_rate = path.prefetch_unit.stats.buffer_hit_rate
+            prefetch_requests = path.prefetch_unit.stats.prefetch_requests
+            prefetch_supplied = path.prefetch_unit.stats.supplied_translations
+        benchmark = self._benchmark_name()
+        return SimulationResult(
+            config_name=self.config.name,
+            benchmark=benchmark,
+            num_tenants=self.trace.num_tenants,
+            interleaving=str(self.trace.interleaving),
+            link_bandwidth_gbps=timing.link_bandwidth_gbps,
+            elapsed_ns=elapsed_ns,
+            achieved_bandwidth_gbps=achieved,
+            packets=self.packet_stats,
+            latency=self.latency_stats,
+            ptb=path.ptb.stats,
+            dram=path.memory.stats,
+            cache_stats=cache_stats,
+            prefetch_buffer_hit_rate=pb_hit_rate,
+            prefetch_requests=prefetch_requests,
+            prefetch_supplied=prefetch_supplied,
+            invalidation_messages=self.invalidation_messages,
+        )
+
+    def _benchmark_name(self) -> str:
+        workloads = self.trace.system.workloads
+        if not workloads:
+            return "empty"
+        first = next(iter(workloads.values()))
+        return first.spec.profile.name
+
+
+def simulate(
+    config: ArchConfig, trace: HyperTrace, native: bool = False,
+    max_packets: Optional[int] = None,
+) -> SimulationResult:
+    """One-call convenience: build a simulator and run it."""
+    return HyperSimulator(config, trace, native=native).run(max_packets=max_packets)

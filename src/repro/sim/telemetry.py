@@ -1,0 +1,138 @@
+"""Windowed time-series telemetry for simulation runs.
+
+A :class:`Telemetry` object attached to a simulator samples the run in
+fixed-size packet windows: achieved bandwidth, drop rate, DevTLB hit
+rate, PTB occupancy, and prefetch coverage per window.  This is how the
+cold-start transient, the prefetcher's lock-in, and the bistable dynamics
+discussed in docs/MODEL.md can actually be *seen*::
+
+    telemetry = Telemetry(window_packets=256)
+    result = HyperSimulator(config, trace, telemetry=telemetry).run()
+    for window in telemetry.windows:
+        print(window.describe())
+
+The simulator calls :meth:`on_packet` once per accepted packet; the
+overhead is a handful of integer updates, so telemetry is cheap enough to
+leave on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.base import CacheStats
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Aggregates for one window of accepted packets."""
+
+    index: int
+    start_ns: float
+    end_ns: float
+    packets: int
+    bytes: int
+    drops: int
+    devtlb_hits: int
+    devtlb_accesses: int
+    prefetch_supplied: int
+    requests: int
+    mean_ptb_occupancy: float
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        duration = self.end_ns - self.start_ns
+        return self.bytes * 8 / duration if duration > 0 else 0.0
+
+    @property
+    def devtlb_hit_rate(self) -> float:
+        return (
+            self.devtlb_hits / self.devtlb_accesses
+            if self.devtlb_accesses
+            else 0.0
+        )
+
+    @property
+    def supplied_fraction(self) -> float:
+        return self.prefetch_supplied / self.requests if self.requests else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"window {self.index:3d}: {self.bandwidth_gbps:6.1f} Gb/s, "
+            f"devtlb {self.devtlb_hit_rate * 100:5.1f}%, "
+            f"supplied {self.supplied_fraction * 100:5.1f}%, "
+            f"drops {self.drops}, ptb {self.mean_ptb_occupancy:.1f}"
+        )
+
+
+class Telemetry:
+    """Collects :class:`WindowSample` objects during a run."""
+
+    def __init__(self, window_packets: int = 256):
+        if window_packets < 1:
+            raise ValueError("window_packets must be >= 1")
+        self.window_packets = window_packets
+        self.windows: List[WindowSample] = []
+        self._reset_window(start_ns=0.0, index=0)
+        # Baselines for differencing cumulative counters.
+        self._devtlb_hits0 = 0
+        self._devtlb_accesses0 = 0
+        self._supplied0 = 0
+        self._requests0 = 0
+        self._drops0 = 0
+
+    def _reset_window(self, start_ns: float, index: int) -> None:
+        self._index = index
+        self._start_ns = start_ns
+        self._packets = 0
+        self._bytes = 0
+        self._occupancy_sum = 0.0
+
+    # ------------------------------------------------------------------
+    def on_packet(
+        self,
+        now_ns: float,
+        size_bytes: int,
+        devtlb_stats: CacheStats,
+        supplied: int,
+        requests: int,
+        drops: int,
+        ptb_occupancy: int,
+    ) -> None:
+        """Record one accepted packet; close the window when full."""
+        self._packets += 1
+        self._bytes += size_bytes
+        self._occupancy_sum += ptb_occupancy
+        if self._packets < self.window_packets:
+            return
+        self.windows.append(
+            WindowSample(
+                index=self._index,
+                start_ns=self._start_ns,
+                end_ns=now_ns,
+                packets=self._packets,
+                bytes=self._bytes,
+                drops=drops - self._drops0,
+                devtlb_hits=devtlb_stats.hits - self._devtlb_hits0,
+                devtlb_accesses=devtlb_stats.accesses - self._devtlb_accesses0,
+                prefetch_supplied=supplied - self._supplied0,
+                requests=requests - self._requests0,
+                mean_ptb_occupancy=self._occupancy_sum / self._packets,
+            )
+        )
+        self._devtlb_hits0 = devtlb_stats.hits
+        self._devtlb_accesses0 = devtlb_stats.accesses
+        self._supplied0 = supplied
+        self._requests0 = requests
+        self._drops0 = drops
+        self._reset_window(start_ns=now_ns, index=self._index + 1)
+
+    # ------------------------------------------------------------------
+    def series(self, attribute: str) -> List[float]:
+        """Extract one per-window series (e.g. ``"bandwidth_gbps"``)."""
+        return [getattr(window, attribute) for window in self.windows]
+
+    def steady_state_window(self) -> Optional[WindowSample]:
+        """The last full window (a steady-state sample), if any."""
+        return self.windows[-1] if self.windows else None

@@ -1,0 +1,104 @@
+"""HyperSIO trace pipeline: workloads, log collection, trace construction."""
+
+from repro.trace.characterize import (
+    MultiTenantCharacterization,
+    PageGroup,
+    SingleTenantCharacterization,
+    characterize_multi_tenant,
+    characterize_single_tenant,
+)
+from repro.trace.collector import (
+    MAX_TENANTS_PER_RUN,
+    CollectorRun,
+    LogCollector,
+    TenantLog,
+    collect_single_tenant,
+)
+from repro.trace.constructor import (
+    HyperTrace,
+    Interleaving,
+    TraceConstructor,
+    construct_trace,
+    interleave,
+)
+from repro.trace.records import (
+    PacketRecord,
+    TraceStats,
+    compute_trace_stats,
+    load_trace,
+    read_trace,
+    write_trace,
+)
+from repro.trace.logformat import (
+    LogFormatError,
+    logs_equal,
+    read_log,
+    read_run,
+    write_log,
+    write_run,
+)
+from repro.trace.validate import ValidationReport, validate_trace
+from repro.trace.tenant import (
+    BENCHMARKS,
+    IPERF3,
+    KEYVALUE,
+    MEDIASTREAM,
+    WEBSEARCH,
+    BenchmarkProfile,
+    TenantSpec,
+    make_mixed_specs,
+    make_tenant_specs,
+    profile_by_name,
+)
+from repro.trace.workload import (
+    HyperTenantSystem,
+    TenantWorkload,
+    build_system,
+    build_tenant_workload,
+)
+
+__all__ = [
+    "PacketRecord",
+    "TraceStats",
+    "compute_trace_stats",
+    "write_trace",
+    "read_trace",
+    "load_trace",
+    "BenchmarkProfile",
+    "TenantSpec",
+    "make_tenant_specs",
+    "make_mixed_specs",
+    "profile_by_name",
+    "LogFormatError",
+    "write_log",
+    "read_log",
+    "write_run",
+    "read_run",
+    "logs_equal",
+    "ValidationReport",
+    "validate_trace",
+    "BENCHMARKS",
+    "IPERF3",
+    "KEYVALUE",
+    "MEDIASTREAM",
+    "WEBSEARCH",
+    "HyperTenantSystem",
+    "TenantWorkload",
+    "build_system",
+    "build_tenant_workload",
+    "LogCollector",
+    "TenantLog",
+    "CollectorRun",
+    "MAX_TENANTS_PER_RUN",
+    "collect_single_tenant",
+    "TraceConstructor",
+    "HyperTrace",
+    "Interleaving",
+    "construct_trace",
+    "interleave",
+    "characterize_single_tenant",
+    "characterize_multi_tenant",
+    "SingleTenantCharacterization",
+    "MultiTenantCharacterization",
+    "PageGroup",
+]

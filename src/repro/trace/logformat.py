@@ -1,0 +1,131 @@
+"""On-disk log format for collector output (HyperSIO-style text logs).
+
+The original HyperSIO Log Collector writes one text log per run, with one
+line per IOMMU event.  This module defines a compatible-in-spirit format
+so the pipeline's intermediate artifact is a real file that can be
+written, inspected, and re-parsed:
+
+```
+# hypersio-log v1 benchmark=mediastream sid=3
+I 0xf0000000            # init-phase translation request
+P 0x34800000 0xbbe00000 0x35000000   # one packet's three requests
+```
+
+``write_log`` / ``read_log`` round-trip a
+:class:`~repro.trace.collector.TenantLog`; ``write_run`` / ``read_run``
+handle a whole collector run directory (one file per tenant, as the
+paper's per-NIC logs are).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.trace.collector import CollectorRun, TenantLog
+from repro.trace.records import PacketRecord
+
+#: Magic first-line prefix for format detection.
+MAGIC = "# hypersio-log v1"
+
+
+class LogFormatError(ValueError):
+    """Raised when a log file does not parse."""
+
+
+def write_log(path: Path, log: TenantLog) -> int:
+    """Write one tenant's log; returns the number of event lines."""
+    lines = [f"{MAGIC} benchmark={log.benchmark} sid={log.sid}"]
+    for giova in log.init_giovas:
+        lines.append(f"I {giova:#x}")
+    for packet in log.packets:
+        ring, data, mailbox = packet.giovas
+        lines.append(f"P {ring:#x} {data:#x} {mailbox:#x}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines) - 1
+
+
+def read_log(path: Path) -> TenantLog:
+    """Parse one tenant's log file back into a :class:`TenantLog`."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines or not lines[0].startswith(MAGIC):
+        raise LogFormatError(f"{path}: missing '{MAGIC}' header")
+    header = _parse_header(lines[0], path)
+    init_giovas: List[int] = []
+    packets: List[PacketRecord] = []
+    for number, line in enumerate(lines[1:], start=2):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            values = [int(field, 16) for field in fields[1:]]
+        except ValueError as error:
+            raise LogFormatError(f"{path}:{number}: bad address: {error}") from None
+        if kind == "I":
+            if len(values) != 1:
+                raise LogFormatError(f"{path}:{number}: I takes one address")
+            init_giovas.append(values[0])
+        elif kind == "P":
+            if len(values) != 3:
+                raise LogFormatError(f"{path}:{number}: P takes three addresses")
+            if init_giovas is None:
+                raise LogFormatError(f"{path}:{number}: packets before header")
+            packets.append(
+                PacketRecord(sid=header["sid"], giovas=tuple(values))
+            )
+        else:
+            raise LogFormatError(f"{path}:{number}: unknown record kind {kind!r}")
+    return TenantLog(
+        sid=header["sid"],
+        benchmark=header["benchmark"],
+        init_giovas=init_giovas,
+        packets=packets,
+    )
+
+
+def _parse_header(line: str, path) -> dict:
+    header = {"benchmark": None, "sid": None}
+    for token in line[len(MAGIC):].split():
+        if "=" not in token:
+            raise LogFormatError(f"{path}: malformed header token {token!r}")
+        key, value = token.split("=", 1)
+        if key == "sid":
+            header["sid"] = int(value)
+        elif key == "benchmark":
+            header["benchmark"] = value
+    if header["sid"] is None or header["benchmark"] is None:
+        raise LogFormatError(f"{path}: header needs benchmark= and sid=")
+    return header
+
+
+def write_run(directory: Path, run: CollectorRun) -> List[Path]:
+    """Write every log of a collector run into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for log in run.logs:
+        path = directory / f"tenant_{log.sid:04d}.log"
+        write_log(path, log)
+        paths.append(path)
+    return paths
+
+
+def read_run(directory: Path) -> CollectorRun:
+    """Read every ``tenant_*.log`` in ``directory`` (sorted by SID)."""
+    directory = Path(directory)
+    paths = sorted(directory.glob("tenant_*.log"))
+    if not paths:
+        raise LogFormatError(f"{directory}: no tenant_*.log files")
+    return CollectorRun(logs=[read_log(path) for path in paths])
+
+
+def logs_equal(a: TenantLog, b: TenantLog) -> bool:
+    """Structural equality of two logs (round-trip checks)."""
+    return (
+        a.sid == b.sid
+        and a.benchmark == b.benchmark
+        and a.init_giovas == b.init_giovas
+        and a.packets == b.packets
+    )

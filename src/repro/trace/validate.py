@@ -1,0 +1,105 @@
+"""Sanity validation of constructed hyper-traces.
+
+Trace-driven results are only as good as the trace; this module checks a
+:class:`~repro.trace.constructor.HyperTrace` for the invariants the
+performance model relies on, returning a structured report rather than
+raising on first error (so tooling can show everything at once).
+
+Checks:
+
+* every packet's SID has a registered tenant system;
+* every gIOVA walks to a valid hPA in its tenant's address space;
+* packet sizes are physically plausible;
+* invalidation events reference pages the tenant actually uses;
+* recorded trace statistics match the packet list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.mem.pagetable import TranslationFault
+from repro.trace.constructor import HyperTrace
+from repro.trace.records import compute_trace_stats
+
+#: Smallest frame the link model accepts.
+MIN_PACKET_BYTES = 64
+#: Jumbo-frame ceiling.
+MAX_PACKET_BYTES = 9216
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one trace."""
+
+    packets_checked: int
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` summarising all problems, if any."""
+        if self.errors:
+            summary = "; ".join(self.errors[:5])
+            more = f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
+            raise ValueError(f"invalid trace: {summary}{more}")
+
+
+def validate_trace(
+    trace: HyperTrace, sample_stride: int = 1, max_errors: int = 100
+) -> ValidationReport:
+    """Validate ``trace``; check every ``sample_stride``-th packet.
+
+    Full translation checks walk real page tables, so very long traces can
+    be spot-checked with ``sample_stride > 1``; structural checks (sizes,
+    SIDs, stats) always cover every packet.
+    """
+    if sample_stride < 1:
+        raise ValueError("sample_stride must be >= 1")
+    report = ValidationReport(packets_checked=len(trace.packets))
+    known_sids = set(trace.system.sids())
+
+    def note(message: str) -> bool:
+        report.errors.append(message)
+        return len(report.errors) >= max_errors
+
+    for index, packet in enumerate(trace.packets):
+        if packet.sid not in known_sids:
+            if note(f"packet {index}: unknown SID {packet.sid}"):
+                return report
+            continue
+        if not MIN_PACKET_BYTES <= packet.size_bytes <= MAX_PACKET_BYTES:
+            if note(
+                f"packet {index}: implausible size {packet.size_bytes} B"
+            ):
+                return report
+        if len(packet.giovas) != 3:
+            if note(f"packet {index}: {len(packet.giovas)} gIOVAs"):
+                return report
+        if index % sample_stride:
+            continue
+        walker = trace.system.walker_for(packet.sid)
+        for giova in packet.giovas:
+            try:
+                walker.walk(giova)
+            except TranslationFault as fault:
+                if note(f"packet {index}: gIOVA {giova:#x} faults ({fault})"):
+                    return report
+        space = trace.system.workloads[packet.sid].space
+        for page in packet.invalidations:
+            try:
+                space.guest_table.translate(page << 12)
+            except TranslationFault:
+                if note(
+                    f"packet {index}: invalidation of unmapped page "
+                    f"{page:#x}"
+                ):
+                    return report
+
+    recomputed = compute_trace_stats(trace.packets)
+    if recomputed != trace.stats:
+        note("trace statistics do not match the packet list")
+    return report

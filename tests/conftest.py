@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.analysis.scale import RunScale
+from repro.core.config import base_config, hypertrio_config
+from repro.mem.allocator import FrameAllocator
+from repro.mem.pagetable import AddressSpace
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import IPERF3, MEDIASTREAM
+
+
+@pytest.fixture
+def host_allocator():
+    return FrameAllocator(base=0x10_0000_0000)
+
+
+@pytest.fixture
+def guest_allocator():
+    return FrameAllocator(base=0x4000_0000)
+
+
+@pytest.fixture
+def address_space(guest_allocator, host_allocator):
+    return AddressSpace(guest_allocator, host_allocator, name="test")
+
+
+@pytest.fixture
+def tiny_scale():
+    """A very small run scale for integration tests."""
+    return RunScale(
+        name="test",
+        tenant_counts=(2, 8),
+        interleavings=("RR1",),
+        benchmarks=("mediastream",),
+        max_packets=900,
+        packets_per_tenant=50_000,
+        warmup_fraction=0.2,
+    )
+
+
+@pytest.fixture
+def small_trace():
+    """A small but realistic mediastream trace (4 tenants)."""
+    return construct_trace(
+        MEDIASTREAM,
+        num_tenants=4,
+        packets_per_tenant=50_000,
+        interleaving="RR1",
+        max_packets=600,
+    )
+
+
+@pytest.fixture
+def iperf_trace():
+    return construct_trace(
+        IPERF3,
+        num_tenants=2,
+        packets_per_tenant=50_000,
+        interleaving="RR1",
+        max_packets=400,
+    )
+
+
+@pytest.fixture
+def base_cfg():
+    return base_config()
+
+
+@pytest.fixture
+def hyper_cfg():
+    return hypertrio_config()

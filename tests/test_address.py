@@ -1,0 +1,137 @@
+"""Unit tests for repro.mem.address."""
+
+import pytest
+
+from repro.mem.address import (
+    ADDRESS_MASK,
+    ENTRIES_PER_NODE,
+    LEVEL_BITS,
+    PAGE_SHIFT_2M,
+    PAGE_SHIFT_4K,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PAGE_TABLE_LEVELS,
+    canonical,
+    format_address,
+    is_page_aligned,
+    level_index,
+    level_indices,
+    page_base,
+    page_number,
+    page_offset,
+    shift_for_page_size,
+)
+
+
+class TestConstants:
+    def test_page_sizes_consistent_with_shifts(self):
+        assert PAGE_SIZE_4K == 1 << PAGE_SHIFT_4K
+        assert PAGE_SIZE_2M == 1 << PAGE_SHIFT_2M
+
+    def test_huge_page_is_one_level_of_entries(self):
+        assert PAGE_SIZE_2M == PAGE_SIZE_4K * ENTRIES_PER_NODE
+
+    def test_four_levels_cover_48_bit_addresses(self):
+        assert PAGE_SHIFT_4K + PAGE_TABLE_LEVELS * LEVEL_BITS == 48
+
+
+class TestPageNumber:
+    def test_zero(self):
+        assert page_number(0) == 0
+
+    def test_within_first_page(self):
+        assert page_number(PAGE_SIZE_4K - 1) == 0
+
+    def test_first_byte_of_second_page(self):
+        assert page_number(PAGE_SIZE_4K) == 1
+
+    def test_huge_page_shift(self):
+        assert page_number(PAGE_SIZE_2M + 5, PAGE_SHIFT_2M) == 1
+
+    def test_paper_ring_buffer_address(self):
+        # The paper's single-tenant trace has its ring page at 0x34800000.
+        assert page_number(0x3480_0000) == 0x34800
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_number(-1)
+
+
+class TestPageBase:
+    def test_round_trip_with_offset(self):
+        address = 0xBBE0_0123
+        assert page_base(address) + page_offset(address) == address
+
+    def test_aligned_address_is_its_own_base(self):
+        assert page_base(0xBBE0_0000, PAGE_SHIFT_2M) == 0xBBE0_0000
+
+    def test_huge_base(self):
+        assert page_base(0xBBE0_0123, PAGE_SHIFT_2M) == 0xBBE0_0000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_base(-5)
+
+
+class TestPageOffset:
+    def test_zero_offset(self):
+        assert page_offset(PAGE_SIZE_4K * 7) == 0
+
+    def test_max_offset(self):
+        assert page_offset(PAGE_SIZE_4K - 1) == PAGE_SIZE_4K - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_offset(-1)
+
+
+class TestLevelIndex:
+    def test_level_one_follows_page_offset(self):
+        address = 3 << PAGE_SHIFT_4K
+        assert level_index(address, 1) == 3
+
+    def test_level_two_is_huge_page_granularity(self):
+        address = 5 << PAGE_SHIFT_2M
+        assert level_index(address, 2) == 5
+
+    def test_index_wraps_at_512(self):
+        address = ENTRIES_PER_NODE << PAGE_SHIFT_4K
+        assert level_index(address, 1) == 0
+        assert level_index(address, 2) == 1
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            level_index(0, 0)
+        with pytest.raises(ValueError):
+            level_index(0, PAGE_TABLE_LEVELS + 1)
+
+    def test_level_indices_order_is_root_first(self):
+        address = (1 << 39) | (2 << 30) | (3 << 21) | (4 << 12)
+        assert level_indices(address) == [1, 2, 3, 4]
+
+
+class TestAlignmentAndCanonical:
+    def test_is_page_aligned(self):
+        assert is_page_aligned(PAGE_SIZE_4K * 10)
+        assert not is_page_aligned(PAGE_SIZE_4K * 10 + 8)
+
+    def test_huge_alignment(self):
+        assert is_page_aligned(PAGE_SIZE_2M, PAGE_SHIFT_2M)
+        assert not is_page_aligned(PAGE_SIZE_4K, PAGE_SHIFT_2M)
+
+    def test_canonical_clips_high_bits(self):
+        assert canonical((1 << 60) | 0x1234) == 0x1234
+        assert canonical(ADDRESS_MASK) == ADDRESS_MASK
+
+
+class TestHelpers:
+    def test_shift_for_page_size(self):
+        assert shift_for_page_size(PAGE_SIZE_4K) == PAGE_SHIFT_4K
+        assert shift_for_page_size(PAGE_SIZE_2M) == PAGE_SHIFT_2M
+
+    def test_shift_for_unsupported_size(self):
+        with pytest.raises(ValueError):
+            shift_for_page_size(1 << 30)
+
+    def test_format_address(self):
+        assert format_address(0x3480_0000) == "0x34800000"

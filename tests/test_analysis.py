@@ -1,0 +1,118 @@
+"""Tests for the analysis package: scale presets, reports, sweeps."""
+
+import pytest
+
+from repro.analysis.report import ExperimentTable
+from repro.analysis.scale import DEFAULT, FULL, SCALE_ENV_VAR, SMOKE, current_scale
+from repro.analysis.sweeps import (
+    cached_trace,
+    clear_trace_cache,
+    run_point,
+    sweep_tenants,
+    utilization_by_count,
+)
+from repro.core.config import base_config, hypertrio_config
+
+
+class TestScalePresets:
+    def test_presets_grow_monotonically(self):
+        assert SMOKE.max_packets < DEFAULT.max_packets <= FULL.max_packets
+        assert len(SMOKE.tenant_counts) <= len(DEFAULT.tenant_counts)
+        assert len(FULL.interleavings) == 3
+
+    def test_full_covers_paper_sweep(self):
+        assert FULL.tenant_counts == (4, 16, 64, 256, 1024)
+        assert set(FULL.benchmarks) == {"iperf3", "mediastream", "websearch"}
+
+    def test_packets_for_scales_with_tenants(self):
+        assert DEFAULT.packets_for(1024) >= DEFAULT.packets_for(4)
+        assert DEFAULT.packets_for(10_000) == DEFAULT.max_packets
+
+    def test_warmup_fraction(self):
+        assert SMOKE.warmup_for(1000) == 250
+
+    def test_current_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "smoke")
+        assert current_scale() is SMOKE
+        monkeypatch.setenv(SCALE_ENV_VAR, "full")
+        assert current_scale() is FULL
+        monkeypatch.delenv(SCALE_ENV_VAR)
+        assert current_scale() is DEFAULT
+
+    def test_current_scale_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "enormous")
+        with pytest.raises(ValueError):
+            current_scale()
+
+
+class TestExperimentTable:
+    def test_add_row_validates_arity(self):
+        table = ExperimentTable("T", "title", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = ExperimentTable("T", "title", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_render_contains_all_cells(self):
+        table = ExperimentTable("Figure X", "demo", ["n", "util %"])
+        table.add_row(4, 99.5)
+        table.add_note("a note")
+        text = table.render()
+        assert "Figure X" in text
+        assert "99.5" in text
+        assert "a note" in text
+
+    def test_markdown_shape(self):
+        table = ExperimentTable("T", "demo", ["a"])
+        table.add_row(1)
+        markdown = table.to_markdown()
+        assert markdown.startswith("### T: demo")
+        assert "| a |" in markdown
+        assert "| 1 |" in markdown
+
+    def test_large_number_formatting(self):
+        table = ExperimentTable("T", "demo", ["v"])
+        table.add_row(1234567.0)
+        assert "1,234,567" in table.render()
+
+
+class TestSweeps:
+    def setup_method(self):
+        clear_trace_cache()
+
+    def test_cached_trace_reused(self, tiny_scale):
+        first = cached_trace("mediastream", 2, "RR1", tiny_scale)
+        second = cached_trace("mediastream", 2, "RR1", tiny_scale)
+        assert first is second
+
+    def test_distinct_keys_not_shared(self, tiny_scale):
+        a = cached_trace("mediastream", 2, "RR1", tiny_scale)
+        b = cached_trace("mediastream", 2, "RR4", tiny_scale)
+        assert a is not b
+
+    def test_run_point_fields(self, tiny_scale):
+        point = run_point(base_config(), "mediastream", 2, "RR1", tiny_scale)
+        assert point.config_name == "Base"
+        assert point.num_tenants == 2
+        assert 0 <= point.utilization_percent <= 100
+        assert point.bandwidth_gbps >= 0
+
+    def test_sweep_tenants_cartesian(self, tiny_scale):
+        points = sweep_tenants(
+            [base_config(), hypertrio_config()],
+            ["mediastream"],
+            ["RR1"],
+            tiny_scale,
+        )
+        assert len(points) == 2 * 1 * 1 * len(tiny_scale.tenant_counts)
+
+    def test_utilization_by_count_grouping(self, tiny_scale):
+        points = sweep_tenants([base_config()], ["mediastream"], ["RR1"], tiny_scale)
+        series = utilization_by_count(points)
+        key = ("Base", "mediastream", "RR1")
+        assert key in series
+        assert set(series[key]) == set(tiny_scale.tenant_counts)

@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import MARKERS, AsciiChart, chart_from_columns
+
+
+class TestAsciiChart:
+    def test_render_contains_title_and_legend(self):
+        chart = AsciiChart(width=30, height=8, title="demo chart")
+        chart.add_series("base", [(1, 0.0), (2, 50.0), (3, 100.0)])
+        text = chart.render()
+        assert "demo chart" in text
+        assert "o base" in text
+
+    def test_axis_labels_show_bounds(self):
+        chart = AsciiChart(width=30, height=8)
+        chart.add_series("s", [(0, 10.0), (5, 90.0)])
+        text = chart.render()
+        assert "90" in text
+        assert "10" in text
+
+    def test_markers_cycle_per_series(self):
+        chart = AsciiChart(width=30, height=8)
+        chart.add_series("a", [(0, 0.0), (1, 1.0)])
+        chart.add_series("b", [(0, 1.0), (1, 0.0)])
+        text = chart.render()
+        assert MARKERS[0] in text
+        assert MARKERS[1] in text
+
+    def test_extreme_points_land_on_grid_edges(self):
+        chart = AsciiChart(width=10, height=5)
+        chart.add_series("s", [(0, 0.0), (9, 100.0)])
+        lines = chart.render().splitlines()
+        grid_lines = [line for line in lines if "|" in line]
+        # Highest value on the top grid row, lowest on the bottom row.
+        assert "o" in grid_lines[0].split("|", 1)[1]
+        assert "o" in grid_lines[-1].split("|", 1)[1]
+
+    def test_flat_series_does_not_crash(self):
+        chart = AsciiChart(width=10, height=4)
+        chart.add_series("flat", [(0, 5.0), (1, 5.0)])
+        assert chart.render()
+
+    def test_log_x_requires_positive(self):
+        chart = AsciiChart(log_x=True)
+        chart.add_series("s", [(0, 1.0), (4, 2.0)])
+        with pytest.raises(ValueError):
+            chart.render()
+
+    def test_log_x_spreads_powers_of_two(self):
+        chart = AsciiChart(width=33, height=4, log_x=True)
+        chart.add_series("s", [(4, 0.0), (64, 50.0), (1024, 100.0)])
+        lines = [l for l in chart.render().splitlines() if "|" in l]
+        middle_columns = [line.split("|", 1)[1].find("o") for line in lines]
+        # The 64-tenant point sits near the horizontal middle under log-x.
+        middle = [c for c in middle_columns if 0 < c < 32]
+        assert middle and 8 <= middle[0] <= 24
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().render()
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().add_series("s", [])
+
+    def test_too_many_series_rejected(self):
+        chart = AsciiChart()
+        for index in range(len(MARKERS)):
+            chart.add_series(f"s{index}", [(0, index)])
+        with pytest.raises(ValueError):
+            chart.add_series("overflow", [(0, 0)])
+
+
+class TestChartFromColumns:
+    def test_builds_all_series(self):
+        chart = chart_from_columns(
+            "t", [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}
+        )
+        text = chart.render()
+        assert "a" in text and "b" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            chart_from_columns("t", [1, 2], {"a": [1]})

@@ -1,0 +1,94 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.benchmark == "mediastream"
+        assert args.config == "hypertrio"
+        assert args.tenants == 64
+
+    def test_invalid_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--benchmark", "nginx"])
+
+    def test_experiment_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure10", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure10" in output
+        assert "mediastream" in output
+
+    def test_simulate_small_run(self, capsys):
+        code = main([
+            "simulate", "--benchmark", "iperf3", "--tenants", "2",
+            "--config", "base", "--packets", "400",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Base" in output
+        assert "Gb/s" in output
+
+    def test_simulate_verbose_prints_caches(self, capsys):
+        main([
+            "simulate", "--benchmark", "iperf3", "--tenants", "2",
+            "--config", "hypertrio", "--packets", "400", "-v",
+        ])
+        output = capsys.readouterr().out
+        assert "devtlb" in output
+
+    def test_characterize(self, capsys):
+        code = main([
+            "characterize", "--benchmark", "iperf3", "--packets", "500",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ring" in output
+        assert "periodic" in output
+
+    def test_experiment_table2(self, capsys, monkeypatch):
+        code = main(["experiment", "table2"])
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_experiment_unknown_name(self, capsys):
+        code = main(["experiment", "figure99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_simulate_with_config_file(self, capsys, tmp_path):
+        from repro.core.config import hypertrio_config
+        from repro.core.config_io import save_config
+
+        path = tmp_path / "custom.json"
+        config = hypertrio_config().with_overrides(name="Custom")
+        save_config(config, path)
+        code = main([
+            "simulate", "--benchmark", "iperf3", "--tenants", "2",
+            "--packets", "300", "--config-file", str(path),
+        ])
+        assert code == 0
+        assert "Custom" in capsys.readouterr().out
+
+    def test_sweep_with_chart(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        code = main([
+            "sweep", "--benchmark", "iperf3", "--tenants", "2,4", "--chart",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Base" in output and "HyperTRIO" in output
+        assert "utilisation" in output  # chart title rendered

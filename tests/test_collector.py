@@ -1,0 +1,130 @@
+"""Unit tests for the log-collector substitute and characterisation."""
+
+import dataclasses
+
+import pytest
+
+from repro.trace.characterize import (
+    characterize_multi_tenant,
+    characterize_single_tenant,
+    classify_page,
+)
+from repro.trace.collector import (
+    MAX_TENANTS_PER_RUN,
+    LogCollector,
+    collect_single_tenant,
+)
+from repro.trace.tenant import IPERF3, MEDIASTREAM, make_tenant_specs
+from repro.trace.workload import INIT_WINDOW_BASE
+
+
+class TestLogCollector:
+    def test_batches_respect_24_slot_limit(self):
+        """The QEMU Q35 root complex supports 24 slots, so the collector
+        runs big tenant sets in batches."""
+        specs = make_tenant_specs(IPERF3, 50, 20)
+        runs = LogCollector().collect(specs)
+        assert len(runs) == 3
+        assert [len(run.logs) for run in runs] == [24, 24, 2]
+
+    def test_flat_collection_preserves_order(self):
+        specs = make_tenant_specs(IPERF3, 30, 10)
+        logs = LogCollector().collect_flat(specs)
+        assert [log.sid for log in logs] == list(range(30))
+
+    def test_log_contains_init_and_steady_requests(self):
+        log = collect_single_tenant(MEDIASTREAM, packets=100)
+        assert log.init_giovas
+        assert len(log.packets) == 100
+        assert log.request_count == len(log.init_giovas) + 300
+
+    def test_requests_flatten_in_order(self):
+        log = collect_single_tenant(IPERF3, packets=5)
+        requests = list(log.requests())
+        assert len(requests) == log.request_count
+        assert requests[0] >= INIT_WINDOW_BASE  # init pages first
+
+    def test_requests_can_exclude_init(self):
+        log = collect_single_tenant(IPERF3, packets=5)
+        steady = list(log.requests(include_init=False))
+        assert len(steady) == 15
+
+    def test_custom_batch_size(self):
+        collector = LogCollector(max_tenants_per_run=4)
+        runs = collector.collect(make_tenant_specs(IPERF3, 10, 5))
+        assert [len(run.logs) for run in runs] == [4, 4, 2]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            LogCollector(max_tenants_per_run=0)
+
+    def test_default_limit_is_24(self):
+        assert MAX_TENANTS_PER_RUN == 24
+
+
+class TestSingleTenantCharacterization:
+    @pytest.fixture(scope="class")
+    def characterization(self):
+        profile = dataclasses.replace(MEDIASTREAM, jump_probability=0.0)
+        log = collect_single_tenant(profile, packets=20_000)
+        return characterize_single_tenant(log)
+
+    def test_three_groups_found(self, characterization):
+        assert set(characterization.groups) == {"ring", "data", "init"}
+
+    def test_ring_group_accessed_every_packet(self, characterization):
+        ring = characterization.groups["ring"]
+        assert ring.page_count == 2  # ring + mailbox
+        assert ring.accesses_per_page == pytest.approx(20_000)
+
+    def test_data_group_has_profile_pages(self, characterization):
+        assert characterization.groups["data"].page_count == 30
+
+    def test_init_group_is_cold(self, characterization):
+        init = characterization.groups["init"]
+        assert init.page_count == 70
+        assert init.accesses_per_page < 100  # paper: <100 accesses each
+
+    def test_ring_pages_dominate_frequency(self, characterization):
+        """Figure 8a: the ring page is ~30x hotter than data pages."""
+        ring = characterization.groups["ring"].accesses_per_page
+        data = characterization.groups["data"].accesses_per_page
+        assert ring > 10 * data
+
+    def test_periodic_pattern(self, characterization):
+        """Figure 8b: data pages are used in long sequential runs in a
+        fixed cyclic order."""
+        assert characterization.periodic
+        assert characterization.mean_run_length > 100
+
+    def test_total_requests(self, characterization):
+        assert characterization.total_requests == 3 * 20_000 + 280
+
+
+class TestClassifyPage:
+    def test_ring_and_mailbox(self):
+        assert classify_page(0x34800, 0x34800, 0x35000) == "ring"
+        assert classify_page(0x35000, 0x34800, 0x35000) == "ring"
+
+    def test_init_window(self):
+        assert classify_page(0xF0000, 0x34800, 0x35000) == "init"
+
+    def test_data(self):
+        assert classify_page(0xBBE00, 0x34800, 0x35000) == "data"
+
+
+class TestMultiTenantCharacterization:
+    def test_full_overlap_for_identical_drivers(self):
+        """Section IV-D: all tenants use the same data-page gIOVAs."""
+        specs = make_tenant_specs(MEDIASTREAM, 4, 500)
+        logs = LogCollector().collect_flat(specs)
+        result = characterize_multi_tenant(logs)
+        assert result.num_tenants == 4
+        assert result.mean_pairwise_overlap > 0.5
+        assert result.distinct_data_pages <= 30
+
+    def test_single_tenant_degenerate_case(self):
+        logs = [collect_single_tenant(IPERF3, packets=20)]
+        result = characterize_multi_tenant(logs)
+        assert result.num_tenants == 1
+        assert result.mean_pairwise_overlap == 1.0

@@ -1,0 +1,138 @@
+"""Tests for result comparison and trace validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.compare import compare_results, comparison_table
+from repro.core.config import base_config, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.records import PacketRecord
+from repro.trace.tenant import MEDIASTREAM
+from repro.trace.validate import ValidationReport, validate_trace
+
+
+def _trace(packets=600, tenants=8):
+    return construct_trace(
+        MEDIASTREAM, num_tenants=tenants, packets_per_tenant=100_000,
+        max_packets=packets,
+    )
+
+
+def _pair():
+    base = HyperSimulator(base_config(), _trace()).run()
+    hyper = HyperSimulator(hypertrio_config(), _trace()).run()
+    return base, hyper
+
+
+class TestCompareResults:
+    def test_hypertrio_vs_base(self):
+        base, hyper = _pair()
+        comparison = compare_results(base, hyper)
+        assert comparison.candidate_wins
+        assert comparison.bandwidth_speedup > 1.0
+        assert comparison.utilization_delta > 0.0
+        assert comparison.drop_delta <= 0
+
+    def test_self_comparison_is_neutral(self):
+        base, _ = _pair()
+        comparison = compare_results(base, base)
+        assert comparison.bandwidth_speedup == pytest.approx(1.0)
+        assert comparison.utilization_delta == pytest.approx(0.0)
+        assert all(
+            delta == pytest.approx(0.0)
+            for delta in comparison.hit_rate_deltas.values()
+        )
+
+    def test_mismatched_traces_rejected(self):
+        base = HyperSimulator(base_config(), _trace(tenants=4)).run()
+        other = HyperSimulator(base_config(), _trace(tenants=8)).run()
+        with pytest.raises(ValueError):
+            compare_results(base, other)
+
+    def test_comparison_table_renders(self):
+        base, hyper = _pair()
+        table = comparison_table(compare_results(base, hyper))
+        text = table.render()
+        assert "bandwidth speedup" in text
+        assert "devtlb hit-rate delta" in text
+
+
+class TestValidateTrace:
+    def test_constructed_trace_is_valid(self):
+        report = validate_trace(_trace())
+        assert report.ok
+        assert report.packets_checked == 600
+        report.raise_if_invalid()  # must not raise
+
+    def test_remap_trace_is_valid(self):
+        profile = dataclasses.replace(
+            MEDIASTREAM, remap_on_advance=True, jump_probability=0.0
+        )
+        trace = construct_trace(
+            profile, num_tenants=2, packets_per_tenant=2000, max_packets=900
+        )
+        assert validate_trace(trace).ok
+
+    def test_unknown_sid_detected(self):
+        trace = _trace(packets=50)
+        trace.packets[10] = PacketRecord(sid=999, giovas=(1, 2, 3))
+        report = validate_trace(trace)
+        assert not report.ok
+        assert any("unknown SID" in error for error in report.errors)
+
+    def test_bad_size_detected(self):
+        trace = _trace(packets=50)
+        good = trace.packets[0]
+        trace.packets[0] = PacketRecord(
+            sid=good.sid, giovas=good.giovas, size_bytes=20
+        )
+        report = validate_trace(trace)
+        assert any("implausible size" in error for error in report.errors)
+
+    def test_faulting_giova_detected(self):
+        trace = _trace(packets=50)
+        good = trace.packets[0]
+        trace.packets[0] = PacketRecord(
+            sid=good.sid, giovas=(0xDEAD_0000, good.giovas[1], good.giovas[2])
+        )
+        report = validate_trace(trace)
+        assert any("faults" in error for error in report.errors)
+
+    def test_stats_mismatch_detected(self):
+        trace = _trace(packets=50)
+        trace.packets.append(trace.packets[0])  # stats now stale
+        report = validate_trace(trace)
+        assert any("statistics" in error for error in report.errors)
+
+    def test_raise_if_invalid(self):
+        trace = _trace(packets=50)
+        trace.packets[0] = PacketRecord(sid=999, giovas=(1, 2, 3))
+        with pytest.raises(ValueError):
+            validate_trace(trace).raise_if_invalid()
+
+    def test_sampling_skips_walks(self):
+        trace = _trace(packets=51)
+        good = trace.packets[1]
+        # A faulting gIOVA at an unsampled index escapes the walk check...
+        trace.packets[1] = PacketRecord(
+            sid=good.sid, giovas=(0xDEAD_0000, good.giovas[1], good.giovas[2])
+        )
+        sampled = validate_trace(trace, sample_stride=50)
+        assert not any("faults" in error for error in sampled.errors)
+
+    def test_error_cap(self):
+        trace = _trace(packets=50)
+        for index in range(50):
+            trace.packets[index] = PacketRecord(sid=999, giovas=(1, 2, 3))
+        report = validate_trace(trace, max_errors=5)
+        assert len(report.errors) == 5
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            validate_trace(_trace(packets=10), sample_stride=0)
+
+    def test_report_defaults(self):
+        report = ValidationReport(packets_checked=0)
+        assert report.ok

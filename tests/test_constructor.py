@@ -1,0 +1,123 @@
+"""Unit tests for the trace constructor and interleavings."""
+
+import pytest
+
+from repro.trace.constructor import (
+    Interleaving,
+    TraceConstructor,
+    construct_trace,
+    interleave,
+)
+from repro.trace.records import PacketRecord
+from repro.trace.tenant import IPERF3, MEDIASTREAM, make_tenant_specs
+
+
+def _stream(sid, count):
+    return iter(PacketRecord(sid=sid, giovas=(1, 2, 3)) for _ in range(count))
+
+
+class TestInterleavingParse:
+    @pytest.mark.parametrize(
+        "text,kind,burst",
+        [("RR1", "RR", 1), ("RR4", "RR", 4), ("RAND1", "RAND", 1),
+         ("rr2", "RR", 2), ("rand8", "RAND", 8)],
+    )
+    def test_parse_valid(self, text, kind, burst):
+        scheme = Interleaving.parse(text)
+        assert scheme.kind == kind
+        assert scheme.burst == burst
+
+    @pytest.mark.parametrize("text", ["RR", "RAND", "FIFO1", "RR0x", ""])
+    def test_parse_invalid(self, text):
+        with pytest.raises(ValueError):
+            Interleaving.parse(text)
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ValueError):
+            Interleaving(kind="RR", burst=0)
+
+    def test_str_round_trip(self):
+        assert str(Interleaving.parse("RR4")) == "RR4"
+
+
+class TestInterleave:
+    def test_rr1_alternates_tenants(self):
+        merged = list(
+            interleave([_stream(0, 5), _stream(1, 5)], Interleaving("RR", 1))
+        )
+        assert [p.sid for p in merged[:6]] == [0, 1, 0, 1, 0, 1]
+
+    def test_rr4_bursts(self):
+        merged = list(
+            interleave([_stream(0, 8), _stream(1, 8)], Interleaving("RR", 4))
+        )
+        assert [p.sid for p in merged[:8]] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_stops_at_first_exhausted_tenant(self):
+        """The edge-effect rule: trace ends when any tenant drains."""
+        merged = list(
+            interleave([_stream(0, 3), _stream(1, 100)], Interleaving("RR", 1))
+        )
+        # Tenant 0 drains after its 3rd packet; the run stops there.
+        assert sum(1 for p in merged if p.sid == 0) == 3
+        assert sum(1 for p in merged if p.sid == 1) <= 4
+
+    def test_rand_is_seeded_and_reproducible(self):
+        streams = lambda: [_stream(0, 50), _stream(1, 50), _stream(2, 50)]
+        a = [p.sid for p in interleave(streams(), Interleaving("RAND", 1), seed=9)]
+        b = [p.sid for p in interleave(streams(), Interleaving("RAND", 1), seed=9)]
+        assert a == b
+
+    def test_rand_differs_across_seeds(self):
+        streams = lambda: [_stream(0, 50), _stream(1, 50)]
+        a = [p.sid for p in interleave(streams(), Interleaving("RAND", 1), seed=1)]
+        b = [p.sid for p in interleave(streams(), Interleaving("RAND", 1), seed=2)]
+        assert a != b
+
+    def test_empty_streams(self):
+        assert list(interleave([], Interleaving("RR", 1))) == []
+
+
+class TestConstructTrace:
+    def test_tenant_count(self):
+        trace = construct_trace(IPERF3, num_tenants=4, packets_per_tenant=50)
+        assert trace.num_tenants == 4
+
+    def test_max_packets_caps_trace(self):
+        trace = construct_trace(
+            IPERF3, num_tenants=4, packets_per_tenant=10_000, max_packets=100
+        )
+        assert len(trace.packets) == 100
+
+    def test_interleaving_recorded(self):
+        trace = construct_trace(IPERF3, 2, 50, interleaving="RR4")
+        assert str(trace.interleaving) == "RR4"
+
+    def test_stats_populated(self):
+        trace = construct_trace(IPERF3, 2, 50)
+        assert trace.stats.total_packets == len(trace.packets)
+        assert trace.stats.total_translations == 3 * len(trace.packets)
+
+    def test_system_has_walkers_for_all_sids(self):
+        trace = construct_trace(IPERF3, 3, 20)
+        for sid in (0, 1, 2):
+            assert trace.system.walker_for(sid) is not None
+
+    def test_deterministic_across_constructions(self):
+        a = construct_trace(MEDIASTREAM, 4, 100, seed=5)
+        b = construct_trace(MEDIASTREAM, 4, 100, seed=5)
+        assert a.packets == b.packets
+
+    def test_constructor_api(self):
+        specs = make_tenant_specs(IPERF3, 2, 30)
+        trace = TraceConstructor(seed=1).construct(specs, "RAND1", max_packets=40)
+        assert len(trace.packets) <= 40
+        assert trace.num_tenants <= 2
+
+    def test_giovas_are_translatable(self):
+        """Every gIOVA emitted by the constructor must walk successfully."""
+        trace = construct_trace(MEDIASTREAM, 2, 30)
+        for packet in trace.packets[:30]:
+            walker = trace.system.walker_for(packet.sid)
+            for giova in packet.giovas:
+                assert walker.walk(giova).hpa > 0

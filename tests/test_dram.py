@@ -1,0 +1,49 @@
+"""Tests for the DRAM latency model."""
+
+import pytest
+
+from repro.mem.dram import DramStats, MainMemory
+
+
+class TestMainMemory:
+    def test_table2_default_latency(self):
+        assert MainMemory().latency_ns == 50.0
+
+    def test_read_returns_latency(self):
+        memory = MainMemory(latency_ns=42.0)
+        assert memory.read() == 42.0
+
+    def test_kind_accounting(self):
+        memory = MainMemory()
+        memory.read("data")
+        memory.read("pte")
+        memory.read("pte")
+        memory.read("history")
+        assert memory.stats.reads == 4
+        assert memory.stats.page_table_reads == 2
+        assert memory.stats.history_reads == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MainMemory().read("disk")
+
+    def test_stats_reset(self):
+        memory = MainMemory()
+        memory.read("pte")
+        memory.stats.reset()
+        assert memory.stats.reads == 0
+        assert memory.stats.page_table_reads == 0
+
+
+class TestDramStats:
+    def test_independent_instances(self):
+        a = MainMemory()
+        b = MainMemory()
+        a.read()
+        assert b.stats.reads == 0
+
+    def test_defaults(self):
+        stats = DramStats()
+        assert (stats.reads, stats.page_table_reads, stats.history_reads) == (
+            0, 0, 0,
+        )

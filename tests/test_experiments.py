@@ -1,0 +1,119 @@
+"""Tests for the experiment drivers (smoke scale)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    figure4,
+    figure5,
+    figure8,
+    figure9,
+    figure11b,
+    figure12b,
+    partitioned_only_config,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.report import ExperimentTable
+from repro.analysis.scale import SMOKE
+from repro.analysis.sweeps import clear_trace_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestStaticTables:
+    def test_table1_lists_three_hosts(self):
+        table = table1()
+        assert len(table.rows) == 3
+        assert "AMD Ryzen 9 3900X" in table.rows[0][1]
+
+    def test_table2_reports_paper_parameters(self):
+        table = table2()
+        parameters = table.column("parameter")
+        assert "One-way PCIe latency" in parameters
+        assert "I/O link bandwidth" in parameters
+        paper = dict(zip(parameters, table.column("paper")))
+        assert paper["DRAM latency"] == "50 ns"
+
+    def test_table4_contrasts_configs(self):
+        table = table4()
+        rows = {row[0]: (row[1], row[2]) for row in table.rows}
+        assert rows["PTB entries"] == (1, 32)
+        assert "8 partition(s)" in rows["DevTLB"][1]
+        assert rows["Prefetching"][0] == "no"
+
+
+class TestTable3:
+    def test_ratios_match_paper(self):
+        table = table3(num_tenants=16, packets_per_tenant=400)
+        for row in table.rows:
+            benchmark, *_, measured_ratio, paper_ratio = row
+            assert measured_ratio == pytest.approx(paper_ratio, rel=0.25), benchmark
+
+    def test_totals_scale_with_tenants(self):
+        small = table3(num_tenants=8, packets_per_tenant=300)
+        large = table3(num_tenants=16, packets_per_tenant=300)
+        assert sum(large.column("total")) > sum(small.column("total"))
+
+
+class TestFigureDrivers:
+    def test_figure4_smoke(self):
+        table = figure4(SMOKE)
+        assert table.columns[0] == "connections"
+        assert len(table.rows) == 2
+
+    def test_figure5_native_dominates_at_scale(self):
+        table = figure5(SMOKE)
+        last = table.rows[-1]
+        native, vf = last[1], last[2]
+        assert native >= vf
+
+    def test_figure8_reproduces_groups(self):
+        table = figure8(packets=30_000)
+        groups = dict(zip(table.column("group"), table.column("pages")))
+        assert groups == {"ring": 2, "data": 30, "init": 70}
+
+    def test_figure9_small_beats_large_is_false(self):
+        """A bigger DevTLB can only help at low tenant counts."""
+        table = figure9(SMOKE)
+        for row in table.rows:
+            _, small_bw, large_bw = row
+            assert large_bw >= small_bw - 10.0
+
+    def test_figure11b_runs_all_policies(self):
+        table = figure11b(SMOKE)
+        assert table.columns[2:] == ["LRU util %", "LFU util %", "oracle util %"]
+        assert len(table.rows) == len(SMOKE.tenant_counts)
+
+    def test_figure12b_ptb_monotone(self):
+        table = figure12b(SMOKE)
+        for row in table.rows:
+            _, _, ptb1, ptb8, ptb32 = row
+            assert ptb8 >= ptb1 - 5.0
+            assert ptb32 >= ptb8 - 5.0
+
+
+class TestConfigHelpers:
+    def test_partitioned_only_config_disables_extras(self):
+        config = partitioned_only_config()
+        assert config.ptb_entries == 1
+        assert not config.prefetch.enabled
+        assert config.devtlb.num_partitions == 8
+
+    def test_registry_complete(self):
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "figure4", "figure5", "figure8", "figure9", "figure10",
+            "figure11a", "figure11b", "figure11c",
+            "figure12a", "figure12b", "figure12c",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+        for driver in ALL_EXPERIMENTS.values():
+            assert callable(driver)

@@ -1,0 +1,123 @@
+"""Tests for fairness metrics and the isolation study plumbing."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    fairness_report,
+    jains_index,
+    victim_slowdown,
+)
+from repro.analysis.isolation import ANTAGONIST, antagonist_profile
+from repro.core.config import base_config, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import TraceConstructor
+from repro.trace.tenant import IPERF3, make_mixed_specs
+
+
+class TestJainsIndex:
+    def test_perfect_fairness(self):
+        assert jains_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_worst_case(self):
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        assert jains_index([1, 2, 3]) == pytest.approx(jains_index([10, 20, 30]))
+
+    def test_all_zero_is_equal(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jains_index([])
+
+
+def _mixed_run(config, with_antagonist, packets=1200):
+    assignments = [(IPERF3, 4)]
+    if with_antagonist:
+        assignments.append((ANTAGONIST, 1))
+    specs = make_mixed_specs(tuple(assignments), packets_per_tenant=50_000)
+    trace = TraceConstructor().construct(specs, "RR1", max_packets=packets)
+    return HyperSimulator(config, trace).run(warmup_packets=packets // 4)
+
+
+class TestFairnessReport:
+    def test_shares_sum_to_one(self):
+        result = _mixed_run(base_config(), with_antagonist=False)
+        report = fairness_report(result)
+        assert sum(t.share for t in report.per_tenant.values()) == pytest.approx(1.0)
+        assert 0.0 < report.jain_index <= 1.0
+
+    def test_rr_interleaving_is_fair(self):
+        result = _mixed_run(base_config(), with_antagonist=False)
+        report = fairness_report(result)
+        assert report.jain_index > 0.95
+        assert report.max_min_ratio < 1.5
+
+    def test_empty_result_rejected(self):
+        result = _mixed_run(base_config(), with_antagonist=False)
+        result.packets.per_tenant_processed = {}
+        with pytest.raises(ValueError):
+            fairness_report(result)
+
+
+class TestVictimSlowdown:
+    def test_identical_runs_give_unity(self):
+        result = _mixed_run(base_config(), with_antagonist=False)
+        assert victim_slowdown(result, result, [0, 1, 2, 3]) == pytest.approx(1.0)
+
+    def test_antagonist_slows_base_victims(self):
+        baseline = _mixed_run(base_config(), with_antagonist=False)
+        contended = _mixed_run(base_config(), with_antagonist=True)
+        retention = victim_slowdown(baseline, contended, [0, 1, 2, 3])
+        assert retention < 1.0
+
+    def test_partitioning_retains_more_than_base(self):
+        """The paper's isolation claim, measured directly."""
+        base_retention = victim_slowdown(
+            _mixed_run(base_config(), False),
+            _mixed_run(base_config(), True),
+            [0, 1, 2, 3],
+        )
+        hyper_retention = victim_slowdown(
+            _mixed_run(hypertrio_config(), False),
+            _mixed_run(hypertrio_config(), True),
+            [0, 1, 2, 3],
+        )
+        assert hyper_retention > base_retention
+
+    def test_requires_victims(self):
+        result = _mixed_run(base_config(), with_antagonist=False)
+        with pytest.raises(ValueError):
+            victim_slowdown(result, result, [])
+
+
+class TestAntagonistProfile:
+    def test_defaults(self):
+        assert ANTAGONIST.num_data_pages == 256
+        assert ANTAGONIST.jump_probability == 0.5
+        assert ANTAGONIST.init_pages == 0
+
+    def test_custom(self):
+        profile = antagonist_profile(num_data_pages=64, jump_probability=0.2)
+        assert profile.num_data_pages == 64
+        assert profile.jump_probability == 0.2
+
+
+class TestMakeMixedSpecs:
+    def test_sid_assignment_dense(self):
+        specs = make_mixed_specs(((IPERF3, 3), (ANTAGONIST, 2)), 100)
+        assert [spec.sid for spec in specs] == [0, 1, 2, 3, 4]
+        assert specs[3].profile.name == "antagonist"
+
+    def test_all_get_full_budget(self):
+        specs = make_mixed_specs(((IPERF3, 2),), 500)
+        assert all(spec.packets == 500 for spec in specs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_mixed_specs(((IPERF3, 0),), 100)
+        with pytest.raises(ValueError):
+            make_mixed_specs(((IPERF3, 1),), 0)
+        with pytest.raises(ValueError):
+            make_mixed_specs((), 100)

@@ -1,0 +1,111 @@
+"""Tests for the HyperSIO-style on-disk log format."""
+
+import pytest
+
+from repro.trace.collector import LogCollector, collect_single_tenant
+from repro.trace.logformat import (
+    MAGIC,
+    LogFormatError,
+    logs_equal,
+    read_log,
+    read_run,
+    write_log,
+    write_run,
+)
+from repro.trace.tenant import IPERF3, MEDIASTREAM, make_tenant_specs
+
+
+@pytest.fixture
+def sample_log():
+    return collect_single_tenant(IPERF3, packets=25)
+
+
+class TestLogRoundTrip:
+    def test_round_trip_preserves_log(self, tmp_path, sample_log):
+        path = tmp_path / "t.log"
+        write_log(path, sample_log)
+        assert logs_equal(read_log(path), sample_log)
+
+    def test_event_count_returned(self, tmp_path, sample_log):
+        path = tmp_path / "t.log"
+        count = write_log(path, sample_log)
+        assert count == len(sample_log.init_giovas) + len(sample_log.packets)
+
+    def test_header_contains_metadata(self, tmp_path, sample_log):
+        path = tmp_path / "t.log"
+        write_log(path, sample_log)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith(MAGIC)
+        assert "benchmark=iperf3" in first_line
+        assert f"sid={sample_log.sid}" in first_line
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text(
+            f"{MAGIC} benchmark=iperf3 sid=5\n"
+            "\n"
+            "# a comment\n"
+            "I 0xf0000000   # inline comment\n"
+            "P 0x34800000 0xbbe00000 0x35000000\n"
+        )
+        log = read_log(path)
+        assert log.sid == 5
+        assert log.init_giovas == [0xF000_0000]
+        assert len(log.packets) == 1
+
+
+class TestLogErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("P 0x1 0x2 0x3\n")
+        with pytest.raises(LogFormatError):
+            read_log(path)
+
+    def test_header_without_sid(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text(f"{MAGIC} benchmark=iperf3\n")
+        with pytest.raises(LogFormatError):
+            read_log(path)
+
+    def test_wrong_arity(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text(f"{MAGIC} benchmark=x sid=0\nP 0x1 0x2\n")
+        with pytest.raises(LogFormatError):
+            read_log(path)
+
+    def test_bad_address(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text(f"{MAGIC} benchmark=x sid=0\nI zzz\n")
+        with pytest.raises(LogFormatError):
+            read_log(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text(f"{MAGIC} benchmark=x sid=0\nQ 0x1\n")
+        with pytest.raises(LogFormatError):
+            read_log(path)
+
+
+class TestRunDirectories:
+    def test_run_round_trip(self, tmp_path):
+        specs = make_tenant_specs(MEDIASTREAM, 5, 20)
+        run = LogCollector().collect(specs)[0]
+        paths = write_run(tmp_path / "run0", run)
+        assert len(paths) == 5
+        restored = read_run(tmp_path / "run0")
+        assert len(restored.logs) == 5
+        for original, parsed in zip(run.logs, restored.logs):
+            assert logs_equal(original, parsed)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(LogFormatError):
+            read_run(tmp_path / "empty")
+
+    def test_logs_sorted_by_sid(self, tmp_path):
+        specs = make_tenant_specs(IPERF3, 12, 5)
+        run = LogCollector().collect(specs)[0]
+        write_run(tmp_path / "run", run)
+        restored = read_run(tmp_path / "run")
+        sids = [log.sid for log in restored.logs]
+        assert sids == sorted(sids)

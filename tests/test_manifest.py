@@ -1,0 +1,50 @@
+"""Tests for the experiment manifest."""
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.manifest import MANIFEST, manifest_by_key
+from repro.analysis.scale import DEFAULT, SMOKE
+
+
+class TestManifestCompleteness:
+    def test_covers_every_registered_experiment(self):
+        assert {entry.key for entry in MANIFEST} == set(ALL_EXPERIMENTS)
+
+    def test_drivers_match_registry(self):
+        for entry in MANIFEST:
+            assert entry.driver is ALL_EXPERIMENTS[entry.key]
+
+    def test_every_entry_documents_claim_and_verdict(self):
+        for entry in MANIFEST:
+            assert len(entry.paper_claim) > 20, entry.key
+            assert len(entry.shape_verdict) > 20, entry.key
+
+    def test_by_key_lookup(self):
+        table = manifest_by_key()
+        assert table["figure10"].driver is ALL_EXPERIMENTS["figure10"]
+
+
+class TestKwargsForScale:
+    def test_table3_scales_tenants(self):
+        entry = manifest_by_key()["table3"]
+        assert entry.kwargs_for(SMOKE)["num_tenants"] == 16
+        assert entry.kwargs_for(DEFAULT)["num_tenants"] == 256
+
+    def test_figures_receive_scale(self):
+        entry = manifest_by_key()["figure10"]
+        assert entry.kwargs_for(SMOKE) == {"scale": SMOKE}
+
+    def test_figure8_packet_budget(self):
+        entry = manifest_by_key()["figure8"]
+        assert entry.kwargs_for(SMOKE)["packets"] == 10_000
+        assert entry.kwargs_for(DEFAULT)["packets"] == 95_000
+
+    def test_static_tables_take_no_kwargs(self):
+        for key in ("table1", "table2", "table4"):
+            assert manifest_by_key()[key].kwargs_for(DEFAULT) == {}
+
+    def test_smoke_manifest_drivers_run(self):
+        """Static entries actually execute with their manifest kwargs."""
+        for key in ("table1", "table2", "table4"):
+            entry = manifest_by_key()[key]
+            table = entry.driver(**entry.kwargs_for(SMOKE))
+            assert table.rows

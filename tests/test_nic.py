@@ -1,0 +1,98 @@
+"""Tests for the step-by-step NIC device API."""
+
+import pytest
+
+from repro.core.config import base_config, hypertrio_config
+from repro.device.nic import NicDevice
+from repro.device.packet import RequestKind
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import IPERF3, MEDIASTREAM
+
+
+@pytest.fixture
+def trace():
+    return construct_trace(
+        IPERF3, num_tenants=2, packets_per_tenant=50_000, max_packets=50
+    )
+
+
+@pytest.fixture
+def nic(trace):
+    return NicDevice(base_config(), trace.system)
+
+
+class TestReceive:
+    def test_cold_packet_goes_through_iommu(self, nic, trace):
+        report = nic.receive(trace.packets[0], now=0.0)
+        assert report.accepted
+        assert len(report.requests) == 3
+        assert all(r.source == "iommu" for r in report.requests)
+        assert report.translation_latency_ns > 900  # at least one round trip
+
+    def test_warm_packet_hits_devtlb(self, nic, trace):
+        packet = trace.packets[0]
+        nic.receive(packet, now=0.0)
+        report = nic.receive(packet, now=1e6)
+        assert all(r.source == "devtlb" for r in report.requests)
+        assert report.translation_latency_ns < 10
+
+    def test_request_kinds_in_order(self, nic, trace):
+        report = nic.receive(trace.packets[0], now=0.0)
+        assert [r.kind for r in report.requests] == [
+            RequestKind.RING_POINTER,
+            RequestKind.DATA_BUFFER,
+            RequestKind.MAILBOX,
+        ]
+
+    def test_hpa_matches_functional_translation(self, nic, trace):
+        packet = trace.packets[0]
+        report = nic.receive(packet, now=0.0)
+        space = trace.system.workloads[packet.sid].space
+        for request in report.requests:
+            expected = space.translate(request.giova)
+            assert request.hpa == expected & ~0xFFF or request.hpa == (
+                expected - (expected % (1 << 21))
+            )
+
+    def test_describe_is_human_readable(self, nic, trace):
+        report = nic.receive(trace.packets[0], now=0.0)
+        text = report.requests[0].describe()
+        assert "gIOVA" in text and "ns" in text
+
+    def test_base_device_drops_when_ptb_full(self, nic, trace):
+        # The Base PTB has one entry; a cold packet's walk occupies it.
+        nic.receive(trace.packets[0], now=0.0)
+        report = nic.receive(trace.packets[1], now=1.0)
+        assert not report.accepted
+        assert nic.drop_rate == pytest.approx(0.5)
+
+    def test_hypertrio_device_absorbs_bursts(self, trace):
+        nic = NicDevice(hypertrio_config(), trace.system)
+        reports = [nic.receive(p, now=float(i)) for i, p in
+                   enumerate(trace.packets[:8])]
+        assert all(r.accepted for r in reports)
+
+
+class TestInvalidate:
+    def test_invalidate_forces_rewalk(self, nic, trace):
+        packet = trace.packets[0]
+        nic.receive(packet, now=0.0)
+        assert nic.invalidate(packet.sid, packet.giovas[0])
+        report = nic.receive(packet, now=1e6)
+        assert report.requests[0].source == "iommu"
+
+    def test_invalidate_absent_returns_false(self, nic):
+        assert not nic.invalidate(0, 0xDEAD_0000)
+
+
+class TestMultiTenant:
+    def test_tenants_translate_to_distinct_frames(self, trace):
+        nic = NicDevice(hypertrio_config(), trace.system)
+        first = nic.receive(trace.packets[0], now=0.0)
+        second = nic.receive(trace.packets[1], now=1e6)
+        assert trace.packets[0].sid != trace.packets[1].sid
+        assert first.requests[0].hpa != second.requests[0].hpa
+
+    def test_drop_rate_zero_initially(self, trace):
+        nic = NicDevice(base_config(), trace.system)
+        assert nic.drop_rate == 0.0

@@ -1,0 +1,58 @@
+"""Tests for variable packet sizes and the key-value workload."""
+
+import pytest
+
+from repro.core.config import base_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import BenchmarkProfile, IPERF3, KEYVALUE
+
+
+class TestKeyValueProfile:
+    def test_profile_shape(self):
+        assert KEYVALUE.small_packet_fraction == 0.6
+        assert KEYVALUE.small_packet_bytes < KEYVALUE.packet_bytes
+        assert KEYVALUE.name == "keyvalue"
+
+    def test_trace_mixes_sizes(self):
+        trace = construct_trace(KEYVALUE, 4, 100_000, max_packets=800)
+        sizes = [packet.size_bytes for packet in trace.packets]
+        assert set(sizes) == {KEYVALUE.small_packet_bytes, KEYVALUE.packet_bytes}
+        small_fraction = sizes.count(KEYVALUE.small_packet_bytes) / len(sizes)
+        assert small_fraction == pytest.approx(0.6, abs=0.1)
+
+    def test_default_profiles_are_fixed_size(self):
+        trace = construct_trace(IPERF3, 2, 100_000, max_packets=200)
+        assert {packet.size_bytes for packet in trace.packets} == {1542}
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", num_data_pages=1,
+                             small_packet_fraction=1.5)
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", num_data_pages=1, packet_bytes=10)
+
+
+class TestVariableSizeTiming:
+    def test_small_packets_arrive_faster(self):
+        """Elapsed wire time for N small packets is shorter than for N
+        full frames, so the same translation latencies hurt more."""
+        def elapsed(profile):
+            trace = construct_trace(profile, 2, 100_000, max_packets=400)
+            result = HyperSimulator(base_config(), trace, native=True).run()
+            return result.elapsed_ns
+
+        assert elapsed(KEYVALUE) < elapsed(IPERF3)
+
+    def test_bandwidth_accounts_actual_bytes(self):
+        trace = construct_trace(KEYVALUE, 2, 100_000, max_packets=400)
+        result = HyperSimulator(base_config(), trace, native=True).run()
+        # Native mode saturates the link regardless of packet sizes.
+        assert result.link_utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_keyvalue_harder_than_iperf_for_base(self):
+        def utilization(profile):
+            trace = construct_trace(profile, 32, 100_000, max_packets=900)
+            return HyperSimulator(base_config(), trace).run().link_utilization
+
+        assert utilization(KEYVALUE) <= utilization(IPERF3) + 0.02

@@ -1,0 +1,194 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.policies import (
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    make_policy_factory,
+)
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy()
+        for key in "abc":
+            policy.on_fill(key)
+        assert policy.victim() == "a"
+
+    def test_hit_refreshes_recency(self):
+        policy = LruPolicy()
+        for key in "abc":
+            policy.on_fill(key)
+        policy.on_hit("a")
+        assert policy.victim() == "b"
+
+    def test_evict_removes_key(self):
+        policy = LruPolicy()
+        policy.on_fill("a")
+        policy.on_fill("b")
+        policy.on_evict("a")
+        assert list(policy.keys()) == ["b"]
+
+    def test_victim_respects_exclusion(self):
+        policy = LruPolicy()
+        for key in "abc":
+            policy.on_fill(key)
+        assert policy.victim(excluding={"a"}) == "b"
+
+    def test_victim_none_when_all_excluded(self):
+        policy = LruPolicy()
+        policy.on_fill("a")
+        assert policy.victim(excluding={"a"}) is None
+
+    def test_victim_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            LruPolicy().victim()
+
+    def test_promote_acts_as_touch(self):
+        policy = LruPolicy()
+        for key in "abc":
+            policy.on_fill(key)
+        policy.promote("a")
+        assert policy.victim() == "b"
+
+
+class TestFifo:
+    def test_victim_is_oldest_insertion(self):
+        policy = FifoPolicy()
+        for key in "abc":
+            policy.on_fill(key)
+        policy.on_hit("a")  # hits do not matter for FIFO
+        assert policy.victim() == "a"
+
+    def test_exclusion(self):
+        policy = FifoPolicy()
+        for key in "ab":
+            policy.on_fill(key)
+        assert policy.victim(excluding={"a"}) == "b"
+
+
+class TestLfu:
+    def test_victim_is_least_frequent(self):
+        policy = LfuPolicy()
+        policy.on_fill("hot")
+        policy.on_fill("cold")
+        for _ in range(5):
+            policy.on_hit("hot")
+        assert policy.victim() == "cold"
+
+    def test_tie_broken_by_insertion_order(self):
+        policy = LfuPolicy()
+        policy.on_fill("first")
+        policy.on_fill("second")
+        assert policy.victim() == "first"
+
+    def test_counter_saturation_halves_row(self):
+        """The paper's scheme: a 4-bit counter saturates at 15 and the whole
+        row is halved."""
+        policy = LfuPolicy(counter_bits=4)
+        policy.on_fill("hot")
+        policy.on_fill("warm")
+        for _ in range(3):
+            policy.on_hit("warm")  # counter 4
+        for _ in range(14):
+            policy.on_hit("hot")  # counter reaches 15
+        policy.on_hit("hot")  # triggers halving: hot 7->8, warm 2
+        assert policy.counter("hot") == 8
+        assert policy.counter("warm") == 2
+
+    def test_promote_adds_steps(self):
+        policy = LfuPolicy()
+        policy.on_fill("a")  # counter 1
+        policy.promote("a", steps=2)
+        assert policy.counter("a") == 3
+
+    def test_relative_frequency_preserved_after_halving(self):
+        policy = LfuPolicy(counter_bits=2)  # saturates at 3
+        policy.on_fill("hot")
+        policy.on_fill("cold")
+        for _ in range(10):
+            policy.on_hit("hot")
+        assert policy.victim() == "cold"
+
+    def test_invalid_counter_bits(self):
+        with pytest.raises(ValueError):
+            LfuPolicy(counter_bits=0)
+
+    def test_exclusion_picks_next_least_frequent(self):
+        policy = LfuPolicy()
+        policy.on_fill("a")
+        policy.on_fill("b")
+        policy.on_hit("b")
+        assert policy.victim(excluding={"a"}) == "b"
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        for key in "abcdef":
+            a.on_fill(key)
+            b.on_fill(key)
+        assert [a.victim() for _ in range(5)] == [b.victim() for _ in range(5)]
+
+    def test_victim_among_tracked_keys(self):
+        policy = RandomPolicy()
+        for key in "abc":
+            policy.on_fill(key)
+        assert policy.victim() in set("abc")
+
+    def test_exclusion(self):
+        policy = RandomPolicy()
+        policy.on_fill("a")
+        policy.on_fill("b")
+        assert policy.victim(excluding={"a"}) == "b"
+        assert policy.victim(excluding={"a", "b"}) is None
+
+
+class TestOracle:
+    def test_evicts_furthest_future_use(self):
+        future = {"a": 10, "b": 3, "c": 7}
+        policy = OraclePolicy(lambda key: future[key])
+        for key in "abc":
+            policy.on_fill(key)
+        assert policy.victim() == "a"
+
+    def test_never_used_again_is_perfect_victim(self):
+        future = {"a": 10, "b": None}
+        policy = OraclePolicy(lambda key: future[key])
+        policy.on_fill("a")
+        policy.on_fill("b")
+        assert policy.victim() == "b"
+
+    def test_exclusion(self):
+        future = {"a": 10, "b": 3}
+        policy = OraclePolicy(lambda key: future[key])
+        policy.on_fill("a")
+        policy.on_fill("b")
+        assert policy.victim(excluding={"a"}) == "b"
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "lfu", "fifo", "random"])
+    def test_known_policies(self, name):
+        factory = make_policy_factory(name)
+        assert factory() is not factory()  # fresh instance per set
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy_factory("LFU")(), LfuPolicy)
+
+    def test_oracle_requires_next_use(self):
+        with pytest.raises(ValueError):
+            make_policy_factory("oracle")
+
+    def test_oracle_with_next_use(self):
+        factory = make_policy_factory("oracle", next_use=lambda key: None)
+        assert isinstance(factory(), OraclePolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy_factory("mru")

@@ -1,0 +1,135 @@
+"""Unit tests for the translation prefetching scheme."""
+
+import pytest
+
+from repro.core.config import PrefetchConfig
+from repro.core.prefetch import IovaHistory, PrefetchUnit, SidPredictor
+
+
+class TestSidPredictor:
+    def test_learns_round_robin_stride(self):
+        """Under RR1, the predictor converges to table[s] = (s + H) mod n."""
+        predictor = SidPredictor(history_length=4)
+        num_tenants = 8
+        for step in range(3 * num_tenants):
+            predictor.observe(step % num_tenants)
+        for sid in range(num_tenants):
+            assert predictor.predict(sid) == (sid + 4) % num_tenants
+
+    def test_no_prediction_before_window_fills(self):
+        predictor = SidPredictor(history_length=8)
+        for sid in range(7):
+            predictor.observe(sid)
+        assert predictor.predict(0) is None
+
+    def test_prediction_updates_when_pattern_changes(self):
+        predictor = SidPredictor(history_length=2)
+        for _ in range(4):
+            predictor.observe(0)
+            predictor.observe(1)
+        old = predictor.predict(0)
+        for _ in range(4):
+            predictor.observe(0)
+            predictor.observe(2)
+        assert predictor.predict(0) != old or predictor.predict(0) == 0
+
+    def test_reconfigure_clears_table(self):
+        predictor = SidPredictor(history_length=2)
+        for _ in range(6):
+            predictor.observe(0)
+            predictor.observe(1)
+        assert len(predictor) > 0
+        predictor.reconfigure(history_length=4)
+        assert len(predictor) == 0
+        assert predictor.history_length == 4
+
+    def test_invalid_history_length(self):
+        with pytest.raises(ValueError):
+            SidPredictor(history_length=0)
+        with pytest.raises(ValueError):
+            SidPredictor(history_length=2).reconfigure(0)
+
+
+class TestIovaHistory:
+    def test_most_recent_newest_first(self):
+        history = IovaHistory(depth=2)
+        history.record(5, 0xA)
+        history.record(5, 0xB)
+        assert history.most_recent(5) == [0xB, 0xA]
+
+    def test_depth_limits_history(self):
+        history = IovaHistory(depth=2)
+        for page in (1, 2, 3):
+            history.record(5, page)
+        assert history.most_recent(5) == [3, 2]
+
+    def test_duplicate_access_moves_to_front(self):
+        history = IovaHistory(depth=3)
+        for page in (1, 2, 3):
+            history.record(5, page)
+        history.record(5, 1)
+        assert history.most_recent(5) == [1, 3, 2]
+
+    def test_tenants_are_independent(self):
+        history = IovaHistory(depth=2)
+        history.record(1, 0xA)
+        history.record(2, 0xB)
+        assert history.most_recent(1) == [0xA]
+        assert history.most_recent(2) == [0xB]
+
+    def test_unknown_tenant_is_empty(self):
+        assert IovaHistory().most_recent(42) == []
+
+    def test_forget(self):
+        history = IovaHistory()
+        history.record(1, 0xA)
+        history.forget(1)
+        assert history.most_recent(1) == []
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            IovaHistory(depth=0)
+
+
+class TestPrefetchUnit:
+    @pytest.fixture
+    def unit(self):
+        return PrefetchUnit(
+            PrefetchConfig(enabled=True, buffer_entries=4, history_length=2,
+                           pages_per_tenant=2)
+        )
+
+    def test_lookup_miss_counted(self, unit):
+        assert unit.lookup(0, 0xBBE00) is None
+        assert unit.stats.buffer_misses == 1
+
+    def test_install_then_hit(self, unit):
+        unit.install(0, 0xBBE00, 0x9000_0000, 12)
+        assert unit.lookup(0, 0xBBE00) == (0x9000_0000, 12)
+        assert unit.stats.buffer_hits == 1
+
+    def test_buffer_is_shared_across_tenants(self, unit):
+        for sid in range(6):
+            unit.install(sid, 0xBBE00, sid, 12)
+        present = sum(
+            1 for sid in range(6) if unit.buffer.probe((sid, 0xBBE00)) is not None
+        )
+        assert present == 4  # capacity-limited, LRU
+
+    def test_observe_and_predict_trains(self, unit):
+        for _ in range(4):
+            unit.observe_and_predict(0)
+            unit.observe_and_predict(1)
+        predicted = unit.observe_and_predict(0)
+        assert predicted in (0, 1)
+        assert unit.stats.predictions > 0
+
+    def test_buffer_hit_rate(self, unit):
+        unit.install(0, 1, 2, 12)
+        unit.lookup(0, 1)
+        unit.lookup(0, 99)
+        assert unit.stats.buffer_hit_rate == pytest.approx(0.5)
+
+    def test_note_prefetch_issued(self, unit):
+        unit.note_prefetch_issued(3)
+        assert unit.stats.prefetch_requests == 3

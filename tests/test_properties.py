@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.partitioned import PartitionedCache, partition_of
+from repro.cache.setassoc import FullyAssociativeCache, SetAssociativeCache
+from repro.core.ptb import PendingTranslationBuffer
+from repro.mem.address import (
+    PAGE_SHIFT_2M,
+    PAGE_SHIFT_4K,
+    level_indices,
+    page_base,
+    page_number,
+    page_offset,
+)
+from repro.mem.allocator import FrameAllocator
+from repro.trace.constructor import Interleaving, interleave
+from repro.trace.records import PacketRecord, compute_trace_stats
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+page_shifts = st.sampled_from([PAGE_SHIFT_4K, PAGE_SHIFT_2M])
+
+
+class TestAddressProperties:
+    @given(addresses, page_shifts)
+    def test_base_plus_offset_reconstructs(self, address, shift):
+        assert page_base(address, shift) + page_offset(address, shift) == address
+
+    @given(addresses, page_shifts)
+    def test_page_number_consistent_with_base(self, address, shift):
+        assert page_number(address, shift) << shift == page_base(address, shift)
+
+    @given(addresses)
+    def test_level_indices_reconstruct_upper_bits(self, address):
+        indices = level_indices(address)
+        rebuilt = 0
+        for index in indices:
+            rebuilt = (rebuilt << 9) | index
+        assert rebuilt == address >> PAGE_SHIFT_4K
+
+    @given(addresses)
+    def test_level_indices_in_range(self, address):
+        assert all(0 <= index < 512 for index in level_indices(address))
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=40))
+    def test_allocations_never_overlap(self, counts):
+        allocator = FrameAllocator(base=0)
+        regions = []
+        for count in counts:
+            start = allocator.allocate(count)
+            regions.append((start, start + count * 4096))
+        regions.sort()
+        for (_, end_a), (start_b, _) in zip(regions, regions[1:]):
+            assert end_a <= start_b
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_huge_allocations_always_aligned(self, warmup):
+        allocator = FrameAllocator(base=0)
+        allocator.allocate(warmup)
+        assert allocator.allocate_huge() % (2 * 1024 * 1024) == 0
+
+
+cache_keys = st.tuples(
+    st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=300)
+)
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "invalidate"]), cache_keys),
+    max_size=200,
+)
+
+
+class TestCacheProperties:
+    @given(cache_ops, st.sampled_from(["lru", "lfu", "fifo", "random"]))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_invariant(self, operations, policy):
+        cache = SetAssociativeCache(num_entries=16, ways=4, policy=policy)
+        for operation, key in operations:
+            if operation == "insert":
+                cache.insert(key, key)
+            elif operation == "lookup":
+                cache.lookup(key)
+            else:
+                cache.invalidate(key)
+            assert len(cache) <= 16
+            for index in range(cache.num_sets):
+                assert cache.set_occupancy(index) <= 4
+
+    @given(cache_ops, st.sampled_from(["lru", "lfu"]))
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_after_insert_without_interference(self, operations, policy):
+        """An inserted key is found unless something else was inserted into
+        its set afterwards."""
+        cache = FullyAssociativeCache(num_entries=256, policy=policy)
+        inserted = set()
+        for operation, key in operations:
+            if operation == "insert":
+                cache.insert(key, key)
+                inserted.add(key)
+            elif operation == "invalidate":
+                cache.invalidate(key)
+                inserted.discard(key)
+        # 256 entries > max distinct keys in the op list: nothing evicted.
+        for key in inserted:
+            assert cache.probe(key) == key
+
+    @given(cache_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_accounting_consistent(self, operations):
+        cache = SetAssociativeCache(num_entries=8, ways=2)
+        lookups = 0
+        for operation, key in operations:
+            if operation == "insert":
+                cache.insert(key, key)
+            elif operation == "lookup":
+                cache.lookup(key)
+                lookups += 1
+            else:
+                cache.invalidate(key)
+        assert cache.stats.hits + cache.stats.misses == lookups
+        assert cache.stats.fills >= len(cache)
+
+    @given(st.lists(cache_keys, min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_isolation_invariant(self, keys):
+        """No key is ever stored in a set outside its SID's partition."""
+        cache = PartitionedCache(num_entries=64, ways=8, num_partitions=8)
+        for key in keys:
+            cache.insert(key, key)
+            sid = key[0]
+            partition = partition_of(sid, 8)
+            # Every resident key of this partition's row belongs to it.
+            total = sum(
+                cache.partition_occupancy(p) for p in range(8)
+            )
+            assert total == len(cache)
+        for key in keys:
+            value = cache.probe(key)
+            if value is not None:
+                assert value == key
+
+
+class TestPtbProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e5),
+                st.floats(min_value=0, max_value=1e4),
+            ),
+            max_size=100,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, jobs, capacity):
+        ptb = PendingTranslationBuffer(capacity)
+        now = 0.0
+        for arrival_delta, latency in jobs:
+            now += arrival_delta
+            ptb.issue(now, latency)
+            assert ptb.occupancy(now) <= capacity
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_completions_monotone_under_serialisation(self, latencies):
+        """With one entry, completion times are strictly increasing."""
+        ptb = PendingTranslationBuffer(1)
+        last = 0.0
+        for latency in latencies:
+            completion = ptb.issue(0.0, latency)
+            assert completion > last
+            last = completion
+
+
+class TestInterleaveProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=8),
+        st.sampled_from(["RR1", "RR4", "RAND1", "RAND2"]),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleave_preserves_per_tenant_order_and_stops_early(
+        self, stream_sizes, scheme_text, seed
+    ):
+        scheme = Interleaving.parse(scheme_text)
+
+        def make_stream(sid, size):
+            # A function scope per stream avoids generator late binding.
+            return iter(
+                PacketRecord(sid=sid, giovas=(index, index + 1, index + 2))
+                for index in range(size)
+            )
+
+        streams = [
+            make_stream(sid, size) for sid, size in enumerate(stream_sizes)
+        ]
+        merged = list(interleave(streams, scheme, seed=seed))
+        # Per-tenant packet order is preserved.
+        per_tenant = {}
+        for packet in merged:
+            per_tenant.setdefault(packet.sid, []).append(packet.giovas[0])
+        for sequence in per_tenant.values():
+            assert sequence == sorted(sequence)
+        # No tenant exceeds its stream size.
+        for sid, sequence in per_tenant.items():
+            assert len(sequence) <= stream_sizes[sid]
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_trace_stats_totals(self, sids):
+        packets = [PacketRecord(sid=sid, giovas=(1, 2, 3)) for sid in sids]
+        stats = compute_trace_stats(packets)
+        assert stats.total_translations == 3 * len(packets)
+        if packets:
+            assert (
+                stats.min_translations_per_tenant
+                <= stats.max_translations_per_tenant
+            )

@@ -1,0 +1,115 @@
+"""Unit tests for the Pending Translation Buffer."""
+
+import pytest
+
+from repro.core.ptb import PendingTranslationBuffer
+
+
+class TestAdmission:
+    def test_empty_buffer_accepts(self):
+        ptb = PendingTranslationBuffer(4)
+        assert ptb.can_accept(0.0)
+
+    def test_full_buffer_rejects(self):
+        ptb = PendingTranslationBuffer(2)
+        ptb.issue(0.0, 100.0)
+        ptb.issue(0.0, 100.0)
+        assert not ptb.can_accept(0.0)
+
+    def test_completion_frees_entry(self):
+        ptb = PendingTranslationBuffer(1)
+        ptb.issue(0.0, 100.0)
+        assert not ptb.can_accept(50.0)
+        assert ptb.can_accept(100.0)
+
+    def test_out_of_order_completion(self):
+        """A short translation completes (and frees its entry) before a
+        long one issued earlier — the head-of-line-blocking avoidance the
+        PTB exists for."""
+        ptb = PendingTranslationBuffer(2)
+        ptb.issue(0.0, 1000.0)  # long walk
+        ptb.issue(0.0, 10.0)  # DevTLB hit
+        assert ptb.occupancy(20.0) == 1
+        assert ptb.can_accept(20.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PendingTranslationBuffer(0)
+
+
+class TestIssueTiming:
+    def test_completion_time_is_start_plus_latency(self):
+        ptb = PendingTranslationBuffer(4)
+        assert ptb.issue(10.0, 5.0) == 15.0
+
+    def test_single_entry_serialises_requests(self):
+        """With the Base design's 1-entry PTB, a packet's three requests
+        trickle through one at a time."""
+        ptb = PendingTranslationBuffer(1)
+        first = ptb.issue(0.0, 100.0)
+        second = ptb.issue(0.0, 100.0)
+        third = ptb.issue(0.0, 100.0)
+        assert (first, second, third) == (100.0, 200.0, 300.0)
+
+    def test_parallel_entries_do_not_serialise(self):
+        ptb = PendingTranslationBuffer(3)
+        completions = [ptb.issue(0.0, 100.0) for _ in range(3)]
+        assert completions == [100.0, 100.0, 100.0]
+
+    def test_negative_latency_rejected(self):
+        ptb = PendingTranslationBuffer(1)
+        with pytest.raises(ValueError):
+            ptb.issue(0.0, -1.0)
+
+    def test_earliest_free_time_when_free(self):
+        ptb = PendingTranslationBuffer(2)
+        assert ptb.earliest_free_time(5.0) == 5.0
+
+    def test_earliest_free_time_when_full(self):
+        ptb = PendingTranslationBuffer(1)
+        ptb.issue(0.0, 100.0)
+        assert ptb.earliest_free_time(10.0) == 100.0
+
+
+class TestStats:
+    def test_issue_counting(self):
+        ptb = PendingTranslationBuffer(4)
+        for _ in range(5):
+            ptb.issue(0.0, 1.0)
+        assert ptb.stats.issued == 5
+
+    def test_max_occupancy_tracked(self):
+        ptb = PendingTranslationBuffer(4)
+        for _ in range(3):
+            ptb.issue(0.0, 1000.0)
+        assert ptb.stats.max_occupancy == 3
+
+    def test_mean_occupancy(self):
+        ptb = PendingTranslationBuffer(4)
+        ptb.issue(0.0, 1000.0)  # occupancy 1
+        ptb.issue(0.0, 1000.0)  # occupancy 2
+        assert ptb.stats.mean_occupancy == pytest.approx(1.5)
+
+    def test_reject_counting(self):
+        ptb = PendingTranslationBuffer(1)
+        ptb.reject_packet()
+        ptb.reject_packet()
+        assert ptb.stats.rejected_packets == 2
+
+    def test_drain_all_returns_last_completion(self):
+        ptb = PendingTranslationBuffer(4)
+        ptb.issue(0.0, 100.0)
+        ptb.issue(0.0, 300.0)
+        assert ptb.drain_all() == 300.0
+
+    def test_drain_all_empty(self):
+        assert PendingTranslationBuffer(1).drain_all() == 0.0
+
+    def test_reset(self):
+        ptb = PendingTranslationBuffer(2)
+        ptb.issue(0.0, 100.0)
+        ptb.reject_packet()
+        ptb.reset()
+        assert ptb.stats.issued == 0
+        assert ptb.can_accept(0.0)
+        assert ptb.occupancy(0.0) == 0

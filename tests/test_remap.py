@@ -1,0 +1,117 @@
+"""Tests for driver unmap/remap modelling and the page-size option."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import base_config, hypertrio_config
+from repro.mem.address import PAGE_SHIFT_2M, PAGE_SHIFT_4K
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.records import PacketRecord
+from repro.trace.tenant import IPERF3, MEDIASTREAM
+
+
+def _remap_profile(**overrides):
+    return dataclasses.replace(
+        MEDIASTREAM, remap_on_advance=True, jump_probability=0.0, **overrides
+    )
+
+
+class TestRemapIoPage:
+    def test_remap_changes_hpa(self, address_space):
+        address_space.map_io_page(0xBBE0_0000, PAGE_SHIFT_2M)
+        before = address_space.translate(0xBBE0_0000)
+        address_space.remap_io_page(0xBBE0_0000, PAGE_SHIFT_2M)
+        after = address_space.translate(0xBBE0_0000)
+        assert after != before
+
+    def test_remap_preserves_giova(self, address_space):
+        address_space.map_io_page(0x3480_0000)
+        address_space.remap_io_page(0x3480_0000)
+        # Still translatable at the same gIOVA.
+        assert address_space.translate(0x3480_0000) > 0
+
+
+class TestRemapTraces:
+    def test_invalidations_emitted_on_page_advance(self):
+        trace = construct_trace(
+            _remap_profile(), num_tenants=2, packets_per_tenant=2000,
+            max_packets=1500,
+        )
+        events = [p for p in trace.packets if p.invalidations]
+        assert events
+        # Invalidated pages are data pages (4 KB page numbers in the 0xbbe
+        # window).
+        for packet in events:
+            for page in packet.invalidations:
+                assert page >= 0xBBE00
+
+    def test_no_invalidations_without_remap(self):
+        trace = construct_trace(
+            MEDIASTREAM, num_tenants=2, packets_per_tenant=2000, max_packets=800
+        )
+        assert all(not p.invalidations for p in trace.packets)
+
+    def test_json_round_trip_keeps_invalidations(self):
+        record = PacketRecord(sid=1, giovas=(1, 2, 3), invalidations=(0xBBE00,))
+        assert PacketRecord.from_json(record.to_json()) == record
+
+    def test_simulation_with_remap_runs_clean(self):
+        trace = construct_trace(
+            _remap_profile(), num_tenants=4, packets_per_tenant=2000,
+            max_packets=1200,
+        )
+        result = HyperSimulator(hypertrio_config(), trace).run(warmup_packets=300)
+        assert 0.0 < result.link_utilization <= 1.0
+        assert result.cache_stats["devtlb"].invalidations > 0
+
+    def test_remap_costs_bandwidth_at_fast_transitions(self):
+        """With very short page periods, remapping forces constant
+        re-walks and costs Base bandwidth versus the no-remap variant."""
+        def run(remap):
+            profile = dataclasses.replace(
+                MEDIASTREAM, remap_on_advance=remap, jump_probability=0.0,
+                uses_per_page=6,
+            )
+            trace = construct_trace(
+                profile, num_tenants=2, packets_per_tenant=100_000,
+                max_packets=1200,
+            )
+            return HyperSimulator(base_config(), trace).run(warmup_packets=300)
+
+        with_remap = run(True)
+        without = run(False)
+        assert (
+            with_remap.achieved_bandwidth_gbps
+            <= without.achieved_bandwidth_gbps + 1e-6
+        )
+
+
+class TestPageSizeOption:
+    def test_4k_data_pages_walk_24_accesses(self):
+        profile = dataclasses.replace(IPERF3, huge_data_pages=False)
+        trace = construct_trace(profile, num_tenants=1, packets_per_tenant=10)
+        walker = trace.system.walker_for(0)
+        data_giova = trace.packets[0].giovas[1]
+        assert walker.walk(data_giova).total_memory_accesses == 24
+
+    def test_2m_data_pages_walk_19_accesses(self):
+        trace = construct_trace(IPERF3, num_tenants=1, packets_per_tenant=10)
+        walker = trace.system.walker_for(0)
+        data_giova = trace.packets[0].giovas[1]
+        assert walker.walk(data_giova).total_memory_accesses == 19
+
+    def test_page_size_affects_walk_latency(self):
+        """4 KB data buffers make cold misses costlier (the paper runs
+        with huge pages enabled in the guest)."""
+        def mean_latency(huge):
+            profile = dataclasses.replace(MEDIASTREAM, huge_data_pages=huge)
+            trace = construct_trace(
+                profile, num_tenants=32, packets_per_tenant=100_000,
+                max_packets=1000,
+            )
+            result = HyperSimulator(base_config(), trace).run()
+            return result.latency.mean_ns
+
+        assert mean_latency(huge=False) >= mean_latency(huge=True) * 0.95

@@ -1,0 +1,75 @@
+"""Tests for multi-seed replication."""
+
+import pytest
+
+from repro.analysis.replication import ReplicatedPoint, replicate
+from repro.analysis.sweeps import clear_trace_cache
+from repro.core.config import base_config
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestReplicatedPoint:
+    def test_statistics(self):
+        point = ReplicatedPoint(
+            config_name="Base",
+            benchmark="iperf3",
+            num_tenants=4,
+            interleaving="RR1",
+            seeds=(0, 1, 2),
+            utilizations=(0.8, 0.9, 1.0),
+        )
+        assert point.mean_utilization == pytest.approx(0.9)
+        assert point.std_utilization == pytest.approx(0.1)
+        assert point.min_utilization == 0.8
+        assert point.max_utilization == 1.0
+
+    def test_single_seed_std_is_zero(self):
+        point = ReplicatedPoint(
+            config_name="Base", benchmark="iperf3", num_tenants=4,
+            interleaving="RR1", seeds=(0,), utilizations=(0.5,),
+        )
+        assert point.std_utilization == 0.0
+
+    def test_describe(self):
+        point = ReplicatedPoint(
+            config_name="Base", benchmark="iperf3", num_tenants=4,
+            interleaving="RR1", seeds=(0, 1), utilizations=(0.5, 0.7),
+        )
+        assert "n=2" in point.describe()
+
+
+class TestReplicate:
+    def test_runs_every_seed(self, tiny_scale):
+        point = replicate(
+            base_config(), "mediastream", 2, "RR1", tiny_scale,
+            seeds=(0, 1, 2),
+        )
+        assert len(point.utilizations) == 3
+        assert all(0.0 <= u <= 1.0 for u in point.utilizations)
+
+    def test_deterministic_benchmark_has_low_spread(self, tiny_scale):
+        """iperf3 is seed-independent (no jumps, fixed sizes), so the
+        spread across seeds must be tiny."""
+        point = replicate(
+            base_config(), "iperf3", 2, "RR1", tiny_scale, seeds=(0, 1, 2),
+        )
+        assert point.std_utilization < 0.02
+
+    def test_rand_interleaving_varies_across_seeds(self, tiny_scale):
+        point = replicate(
+            base_config(), "mediastream", 8, "RAND1", tiny_scale,
+            seeds=(0, 1, 2, 3),
+        )
+        # RAND traces differ per seed; utilisations need not be equal.
+        assert len(set(point.utilizations)) >= 1  # smoke: no crash
+        assert point.max_utilization >= point.min_utilization
+
+    def test_empty_seeds_rejected(self, tiny_scale):
+        with pytest.raises(ValueError):
+            replicate(base_config(), "iperf3", 2, "RR1", tiny_scale, seeds=())

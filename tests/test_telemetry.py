@@ -1,0 +1,112 @@
+"""Tests for run telemetry."""
+
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.core.config import base_config, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.sim.telemetry import Telemetry, WindowSample
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import MEDIASTREAM
+
+
+class TestTelemetryUnit:
+    def test_window_closes_at_capacity(self):
+        telemetry = Telemetry(window_packets=2)
+        stats = CacheStats()
+        for step in range(4):
+            stats.hits += 3
+            telemetry.on_packet(
+                now_ns=(step + 1) * 100.0,
+                size_bytes=1000,
+                devtlb_stats=stats,
+                supplied=step,
+                requests=(step + 1) * 3,
+                drops=0,
+                ptb_occupancy=step,
+            )
+        assert len(telemetry.windows) == 2
+        first = telemetry.windows[0]
+        assert first.packets == 2
+        assert first.bytes == 2000
+
+    def test_windows_difference_cumulative_counters(self):
+        telemetry = Telemetry(window_packets=1)
+        stats = CacheStats()
+        stats.hits, stats.misses = 5, 5
+        telemetry.on_packet(100.0, 1000, stats, 2, 10, 1, 0)
+        stats.hits, stats.misses = 9, 6
+        telemetry.on_packet(200.0, 1000, stats, 5, 20, 4, 0)
+        second = telemetry.windows[1]
+        assert second.devtlb_hits == 4
+        assert second.prefetch_supplied == 3
+        assert second.drops == 3
+
+    def test_bandwidth_computation(self):
+        window = WindowSample(
+            index=0, start_ns=0.0, end_ns=100.0, packets=2, bytes=1250,
+            drops=0, devtlb_hits=0, devtlb_accesses=0, prefetch_supplied=0,
+            requests=0, mean_ptb_occupancy=0.0,
+        )
+        assert window.bandwidth_gbps == pytest.approx(100.0)  # 10000 bits/100ns
+
+    def test_rates_guard_zero(self):
+        window = WindowSample(
+            index=0, start_ns=0.0, end_ns=0.0, packets=0, bytes=0, drops=0,
+            devtlb_hits=0, devtlb_accesses=0, prefetch_supplied=0,
+            requests=0, mean_ptb_occupancy=0.0,
+        )
+        assert window.bandwidth_gbps == 0.0
+        assert window.devtlb_hit_rate == 0.0
+        assert window.supplied_fraction == 0.0
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            Telemetry(window_packets=0)
+
+    def test_describe(self):
+        telemetry = Telemetry(window_packets=1)
+        telemetry.on_packet(61.68, 1542, CacheStats(), 0, 3, 0, 1)
+        assert "Gb/s" in telemetry.windows[0].describe()
+
+
+class TestTelemetryIntegration:
+    def _run(self, config, tenants=32, packets=2000):
+        trace = construct_trace(
+            MEDIASTREAM, num_tenants=tenants, packets_per_tenant=200_000,
+            max_packets=packets,
+        )
+        telemetry = Telemetry(window_packets=200)
+        HyperSimulator(config, trace, telemetry=telemetry).run()
+        return telemetry
+
+    def test_windows_cover_most_of_the_run(self):
+        telemetry = self._run(base_config())
+        assert len(telemetry.windows) == 10
+        assert sum(w.packets for w in telemetry.windows) == 2000
+
+    def test_series_extraction(self):
+        telemetry = self._run(base_config())
+        series = telemetry.series("bandwidth_gbps")
+        assert len(series) == len(telemetry.windows)
+        assert all(value >= 0 for value in series)
+
+    def test_hypertrio_warmup_visible(self):
+        """The prefetcher's lock-in shows up as rising supplied fraction
+        from the first window to steady state."""
+        telemetry = self._run(hypertrio_config(), tenants=64, packets=4000)
+        supplied = telemetry.series("supplied_fraction")
+        assert supplied[-1] > supplied[0]
+        steady = telemetry.steady_state_window()
+        assert steady is not None
+        assert steady.supplied_fraction > 0.3
+
+    def test_steady_state_window_empty(self):
+        assert Telemetry().steady_state_window() is None
+
+    def test_windows_are_time_ordered(self):
+        telemetry = self._run(base_config())
+        ends = [w.end_ns for w in telemetry.windows]
+        assert ends == sorted(ends)
+        for window in telemetry.windows:
+            assert window.end_ns >= window.start_ns
