@@ -653,3 +653,38 @@ ALL_EXPERIMENTS = {
     "figure12b": figure12b,
     "figure12c": figure12c,
 }
+
+
+def run_driver(
+    name: str,
+    scale: Optional[RunScale] = None,
+    runner: Optional[object] = None,
+) -> ExperimentTable:
+    """Run one registered driver by name, sequentially or orchestrated.
+
+    ``scale`` is forwarded only to drivers that take it (the tables and
+    Figure 8 scale themselves).  With ``runner`` (an
+    :class:`repro.runner.ExperimentRunner`), every sweep point the driver
+    needs is submitted as a job through the runner — parallel, memoized
+    against the runner's store, and resumable — and the returned table is
+    identical to the sequential one.  Raises :class:`KeyError` for an
+    unregistered name.
+    """
+    import inspect
+
+    try:
+        driver = ALL_EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    kwargs = {}
+    if scale is not None and "scale" in inspect.signature(driver).parameters:
+        kwargs["scale"] = scale
+    if runner is None:
+        return driver(**kwargs)
+    from repro.runner.orchestrate import run_experiment
+
+    return run_experiment(driver, runner, kwargs)
+
+

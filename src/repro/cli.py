@@ -6,7 +6,8 @@ Subcommands::
     repro-sim sweep       --benchmark websearch --interleaving RR4
     repro-sim characterize --benchmark mediastream --packets 95000
     repro-sim experiment  figure10 [--scale default]
-    repro-sim list        # available experiments / benchmarks
+    repro-sim run         --experiment figure10 --jobs 4 [--resume RUN_ID]
+    repro-sim list        # available experiments / benchmarks / runs
 
 Installed as the ``repro-sim`` console script (see pyproject.toml); also
 runnable as ``python -m repro.cli``.
@@ -18,10 +19,11 @@ import argparse
 import dataclasses
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.ascii_plot import chart_from_columns
-from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.experiments import ALL_EXPERIMENTS, run_driver
 from repro.analysis.scale import SCALE_ENV_VAR, RunScale, current_scale
 from repro.analysis.sweeps import run_point
 from repro.core.config import base_config, hypertrio_config
@@ -34,7 +36,9 @@ from repro.trace.tenant import BENCHMARKS, profile_by_name
 _CONFIGS = {"base": base_config, "hypertrio": hypertrio_config}
 
 
-def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
+def _add_common_workload_args(
+    parser: argparse.ArgumentParser, packets_default: Optional[int] = 12_000
+) -> None:
     parser.add_argument(
         "--benchmark", default="mediastream", choices=sorted(BENCHMARKS),
         help="workload profile (default: mediastream)",
@@ -43,9 +47,13 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
         "--interleaving", default="RR1",
         help="inter-tenant order: RR<n> or RAND<n> (default: RR1)",
     )
+    packets_help = (
+        f"trace length cap in packets (default: {packets_default})"
+        if packets_default is not None
+        else "trace length cap in packets (default: the scale preset's cap)"
+    )
     parser.add_argument(
-        "--packets", type=int, default=12_000,
-        help="trace length cap in packets (default: 12000)",
+        "--packets", type=int, default=packets_default, help=packets_help,
     )
     parser.add_argument("--seed", type=int, default=0)
 
@@ -83,12 +91,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = current_scale()
+    if args.packets is not None:
+        scale = dataclasses.replace(scale, max_packets=args.packets)
     counts = [int(c) for c in args.tenants.split(",")]
     columns = {"Base": [], "HyperTRIO": []}
     for count in counts:
         for name, factory in (("Base", base_config), ("HyperTRIO", hypertrio_config)):
             point = run_point(
-                factory(), args.benchmark, count, args.interleaving, scale
+                factory(), args.benchmark, count, args.interleaving, scale,
+                seed=args.seed,
             )
             columns[name].append(point.utilization_percent)
             print(
@@ -128,18 +139,64 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.scale:
         os.environ[SCALE_ENV_VAR] = args.scale
-    driver = ALL_EXPERIMENTS.get(args.name)
-    if driver is None:
+    if args.name not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.name!r}; see 'repro-sim list'",
               file=sys.stderr)
         return 2
-    import inspect
-
-    kwargs = {}
-    if "scale" in inspect.signature(driver).parameters:
-        kwargs["scale"] = current_scale()
-    table = driver(**kwargs)
+    table = run_driver(args.name, scale=current_scale())
     print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        ExperimentRunner,
+        ProgressReporter,
+        ResultStore,
+        RunFailedError,
+        RunnerOptions,
+    )
+
+    if args.scale:
+        os.environ[SCALE_ENV_VAR] = args.scale
+    scale = current_scale()
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; see 'repro-sim list'",
+              file=sys.stderr)
+        return 2
+    runs_dir = Path(args.runs_dir)
+    run_id = args.resume or args.run_id or f"{args.experiment}-{scale.name}"
+    if args.resume and not (runs_dir / run_id).is_dir():
+        print(f"no run directory to resume: {runs_dir / run_id}", file=sys.stderr)
+        return 2
+    store = ResultStore(runs_dir, run_id)
+    store.write_manifest(experiment=args.experiment, scale=scale.name)
+    options = RunnerOptions(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        max_attempts=args.retries + 1,
+    )
+    reporter = ProgressReporter(stream=sys.stderr, enabled=not args.no_progress)
+    runner = ExperimentRunner(store=store, options=options, reporter=reporter)
+    try:
+        table = run_driver(args.experiment, scale=scale, runner=runner)
+    except RunFailedError as error:
+        stats = runner.stats
+        store.write_manifest(
+            wall_clock_s=stats.wall_clock_s, status="failed", jobs=stats.as_dict()
+        )
+        print(f"run {run_id} failed: {error}", file=sys.stderr)
+        return 1
+    stats = runner.stats
+    store.write_manifest(
+        wall_clock_s=stats.wall_clock_s, status="ok", jobs=stats.as_dict()
+    )
+    print(table.render())
+    print(
+        f"[run {run_id}] {stats.total} jobs: {stats.executed} executed, "
+        f"{stats.cached} cached, {stats.failed} failed in "
+        f"{stats.wall_clock_s:.1f}s -> {store.directory}"
+    )
     return 0
 
 
@@ -155,6 +212,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
             f"{profile.active_translation_set}"
         )
     print("configs: base, hypertrio")
+    from repro.runner.store import DEFAULT_RUNS_DIR, list_runs
+
+    runs = list_runs(Path(DEFAULT_RUNS_DIR))
+    if runs:
+        print(f"runs ({DEFAULT_RUNS_DIR}):")
+        for run_id in runs:
+            print(f"  {run_id}")
     return 0
 
 
@@ -178,7 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = subparsers.add_parser("sweep", help="Base vs HyperTRIO tenant sweep")
-    _add_common_workload_args(sweep)
+    _add_common_workload_args(sweep, packets_default=None)
     sweep.add_argument(
         "--tenants", default="4,16,64,256",
         help="comma-separated tenant counts (default: 4,16,64,256)",
@@ -206,6 +270,46 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="e.g. figure10, table3")
     experiment.add_argument("--scale", choices=("smoke", "default", "full"))
     experiment.set_defaults(func=_cmd_experiment)
+
+    run = subparsers.add_parser(
+        "run",
+        help="parallel, resumable experiment run with a persistent "
+             "result cache",
+    )
+    run.add_argument(
+        "--experiment", required=True, help="driver name, e.g. figure10"
+    )
+    run.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = all cores; 1 = in-process)",
+    )
+    run.add_argument("--scale", choices=("smoke", "default", "full"))
+    run.add_argument(
+        "--run-id", default=None,
+        help="name of the result-store directory "
+             "(default: <experiment>-<scale>; reuse to resume/re-use cache)",
+    )
+    run.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="resume an existing run: executes only its missing points",
+    )
+    run.add_argument(
+        "--runs-dir", default=".repro-runs",
+        help="root directory for result stores (default: .repro-runs)",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds (hung workers are killed)",
+    )
+    run.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed job (default: 1)",
+    )
+    run.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress progress/telemetry lines on stderr",
+    )
+    run.set_defaults(func=_cmd_run)
 
     lister = subparsers.add_parser("list", help="list experiments and benchmarks")
     lister.set_defaults(func=_cmd_list)

@@ -1,0 +1,153 @@
+"""Progress and telemetry reporting for orchestrated runs.
+
+The reporter is fed by the scheduler as jobs finish and prints terse,
+single-line updates (throttled) plus a final summary with per-worker
+throughput and aggregated trace-cache counters.  It is disabled by
+default so library callers stay silent; the CLI enables it on stderr.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TextIO
+
+from repro.runner.spec import JobResult, JobSpec
+
+
+@dataclass
+class _WorkerStats:
+    jobs: int = 0
+    busy_s: float = 0.0
+    trace_cache: Optional[Dict[str, int]] = None
+
+    @property
+    def throughput(self) -> float:
+        return self.jobs / self.busy_s if self.busy_s > 0 else 0.0
+
+
+class ProgressReporter:
+    """Counts done/failed/cached jobs, estimates ETA, tracks workers."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        min_interval_s: float = 0.5,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.min_interval_s = min_interval_s
+        self.total = 0
+        self.cached = 0
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        self._started_at = 0.0
+        self._last_print = 0.0
+        self._workers: Dict[Any, _WorkerStats] = {}
+
+    # ------------------------------------------------------------------
+    def _emit(self, message: str, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_print < self.min_interval_s:
+            return
+        self._last_print = now
+        print(message, file=self.stream)
+
+    # ------------------------------------------------------------------
+    def start(self, total: int, cached: int) -> None:
+        self.total = total
+        self.cached = cached
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        self._started_at = time.monotonic()
+        self._workers.clear()
+        pending = total - cached
+        self._emit(
+            f"[runner] {total} jobs: {cached} cached, {pending} to execute",
+            force=True,
+        )
+
+    def job_done(self, result: JobResult) -> None:
+        self.done += 1
+        worker = self._workers.setdefault(result.worker_pid, _WorkerStats())
+        worker.jobs += 1
+        worker.busy_s += result.duration_s
+        if result.trace_cache:
+            # Cumulative per-process counters: keep the latest snapshot.
+            worker.trace_cache = dict(result.trace_cache)
+        self._emit(self._progress_line())
+
+    def job_failed(self, result: JobResult) -> None:
+        self.failed += 1
+        self._emit(
+            f"[runner] job {result.spec_hash} FAILED after "
+            f"{result.attempts} attempt(s): {result.error}",
+            force=True,
+        )
+
+    def job_retry(self, spec: JobSpec, attempt: int, delay_s: float) -> None:
+        self.retried += 1
+        self._emit(
+            f"[runner] retrying {spec.spec_hash} ({spec.label}) "
+            f"after attempt {attempt}, backoff {delay_s:.2f}s",
+            force=True,
+        )
+
+    def event(self, message: str) -> None:
+        self._emit(f"[runner] {message}", force=True)
+
+    # ------------------------------------------------------------------
+    def _progress_line(self) -> str:
+        finished = self.done + self.failed
+        pending_total = self.total - self.cached
+        elapsed = max(1e-9, time.monotonic() - self._started_at)
+        rate = finished / elapsed
+        remaining = max(0, pending_total - finished)
+        eta = remaining / rate if rate > 0 else float("inf")
+        eta_text = f"{eta:.0f}s" if eta != float("inf") else "?"
+        return (
+            f"[runner] {finished}/{pending_total} executed "
+            f"({self.failed} failed, {self.cached} cached) | "
+            f"{rate:.2f} jobs/s | ETA {eta_text} | "
+            f"workers {len(self._workers)}"
+        )
+
+    def aggregated_trace_cache(self) -> Dict[str, int]:
+        """Sum of each worker's final trace-cache counters."""
+        totals = {"hits": 0, "misses": 0}
+        for worker in self._workers.values():
+            if worker.trace_cache:
+                totals["hits"] += worker.trace_cache.get("hits", 0)
+                totals["misses"] += worker.trace_cache.get("misses", 0)
+        return totals
+
+    def finish(self, stats: Any) -> None:
+        """Final summary; ``stats`` is the runner's ``RunStats``."""
+        if not self.enabled:
+            return
+        cache = self.aggregated_trace_cache()
+        lines = [
+            f"[runner] finished: {stats.executed} executed, "
+            f"{stats.cached} cached, {stats.failed} failed, "
+            f"{stats.retried} retries in {stats.wall_clock_s:.1f}s"
+        ]
+        if cache["hits"] or cache["misses"]:
+            lines.append(
+                f"[runner] worker trace caches: {cache['hits']} hits, "
+                f"{cache['misses']} misses"
+            )
+        for pid, worker in sorted(
+            (p, w) for p, w in self._workers.items() if p is not None
+        ):
+            lines.append(
+                f"[runner]   worker {pid}: {worker.jobs} jobs, "
+                f"{worker.throughput:.2f} jobs/s busy"
+            )
+        for line in lines:
+            print(line, file=self.stream)

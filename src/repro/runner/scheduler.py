@@ -1,0 +1,463 @@
+"""Parallel job scheduler: process pool, retries, timeouts, degradation.
+
+:class:`ExperimentRunner` executes a batch of
+:class:`~repro.runner.spec.JobSpec` jobs with:
+
+* **memoization** — jobs whose hash is already in the
+  :class:`~repro.runner.store.ResultStore` are answered without executing
+  anything (this is what makes runs resumable and re-runs free);
+* **parallelism** — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  with a configurable worker count, each worker primed by
+  :func:`~repro.runner.worker.pool_initializer`;
+* **bounded retry with backoff** — a failed attempt re-queues with
+  exponential backoff until ``max_attempts`` is exhausted, at which point
+  the worker's exception is surfaced in the
+  :class:`~repro.runner.spec.JobResult`;
+* **per-job timeouts** — a job past its deadline is declared failed (or
+  re-queued, if attempts remain) and the pool is recycled, which actually
+  kills the hung worker process rather than leaking it;
+* **graceful degradation** — if the pool keeps breaking (workers dying,
+  fork failures), the runner falls back to in-process execution so the
+  run completes, just without parallelism.
+
+Exactly ``jobs`` futures are kept in flight, so a job's deadline clock
+starts when it genuinely starts running, not while queued behind others.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import os
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.runner.progress import ProgressReporter
+from repro.runner.spec import JobResult, JobSpec
+from repro.runner.store import ResultStore
+from repro.runner.worker import (
+    DEFAULT_WORKER_TRACE_CAPACITY,
+    execute_job,
+    pool_initializer,
+)
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its per-job timeout and its worker was recycled."""
+
+
+class RunFailedError(RuntimeError):
+    """One or more jobs failed after exhausting their attempts."""
+
+    def __init__(self, failures: Sequence[JobResult]):
+        self.failures = list(failures)
+        preview = "; ".join(
+            f"{f.spec_hash}: {f.error}" for f in self.failures[:3]
+        )
+        more = f" (+{len(self.failures) - 3} more)" if len(self.failures) > 3 else ""
+        super().__init__(
+            f"{len(self.failures)} job(s) failed after retries: {preview}{more}"
+        )
+
+
+@dataclass
+class RunnerOptions:
+    """Scheduling knobs (all per-run, not global state).
+
+    ``jobs=0`` means "all cores"; ``jobs=1`` executes in-process with no
+    pool at all (also the degradation target).  ``max_attempts`` counts
+    the first try, so ``2`` means one retry.  Timeouts apply only to
+    pooled execution — an in-process job cannot be killed.
+    """
+
+    jobs: int = 0
+    timeout_s: Optional[float] = None
+    max_attempts: int = 2
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    trace_cache_capacity: int = DEFAULT_WORKER_TRACE_CAPACITY
+    max_pool_restarts: int = 2
+
+    @property
+    def effective_jobs(self) -> int:
+        return self.jobs if self.jobs > 0 else (os.cpu_count() or 1)
+
+
+@dataclass
+class RunStats:
+    """Accounting for the most recent :meth:`ExperimentRunner.run`."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    retried: int = 0
+    wall_clock_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _InFlight:
+    spec: JobSpec
+    attempt: int
+    deadline: Optional[float]
+
+
+class ExperimentRunner:
+    """Orchestrates a batch of jobs through workers, store, and reporter."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        options: Optional[RunnerOptions] = None,
+        job_fn: Callable[[JobSpec], Any] = execute_job,
+        reporter: Optional[ProgressReporter] = None,
+        initializer: Optional[Callable[..., None]] = pool_initializer,
+    ):
+        self.store = store
+        self.options = options or RunnerOptions()
+        self.job_fn = job_fn
+        self.reporter = reporter or ProgressReporter(enabled=False)
+        self.initializer = initializer
+        self.stats = RunStats()
+        self._retry_seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[JobSpec]) -> List[JobResult]:
+        """Execute ``specs``; returns one result per spec, in order.
+
+        Duplicate specs (same hash) execute once and share the result.
+        Failures are returned as ``status="failed"`` records, never
+        raised — use :meth:`run_or_raise` for raise-on-failure semantics.
+        """
+        specs = list(specs)
+        started = time.monotonic()
+        unique: "OrderedDict[str, JobSpec]" = OrderedDict()
+        for spec in specs:
+            unique.setdefault(spec.spec_hash, spec)
+        results: Dict[str, JobResult] = {}
+        pending: List[JobSpec] = []
+        for spec_hash, spec in unique.items():
+            hit = self.store.get(spec_hash) if self.store is not None else None
+            if hit is not None:
+                results[spec_hash] = dataclasses.replace(hit, cached=True)
+            else:
+                pending.append(spec)
+        self.stats = RunStats(total=len(unique), cached=len(unique) - len(pending))
+        self.reporter.start(total=len(unique), cached=self.stats.cached)
+        if pending:
+            if self.options.effective_jobs <= 1:
+                self._run_inline(((spec, 1) for spec in pending), results)
+            else:
+                self._run_pool(pending, results)
+        self.stats.wall_clock_s = time.monotonic() - started
+        self.reporter.finish(self.stats)
+        return [results[spec.spec_hash] for spec in specs]
+
+    def run_or_raise(self, specs: Iterable[JobSpec]) -> List[JobResult]:
+        """Like :meth:`run`, but raises :class:`RunFailedError` on failures."""
+        results = self.run(specs)
+        failures = [result for result in results if not result.ok]
+        if failures:
+            raise RunFailedError(failures)
+        return results
+
+    # ------------------------------------------------------------------
+    # Result plumbing
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        return self.options.backoff_s * self.options.backoff_factor ** (attempt - 1)
+
+    def _ok_result(
+        self, spec: JobSpec, payload: Any, attempt: int, fallback_duration: float
+    ) -> JobResult:
+        if isinstance(payload, Mapping) and "result" in payload:
+            result = payload.get("result")
+            duration = payload.get("duration_s", fallback_duration)
+            pid = payload.get("pid")
+            trace_cache = payload.get("trace_cache")
+        else:
+            result, duration, pid, trace_cache = payload, fallback_duration, None, None
+        return JobResult(
+            spec_hash=spec.spec_hash,
+            status="ok",
+            spec=spec.to_dict(),
+            result=result,
+            attempts=attempt,
+            duration_s=duration,
+            worker_pid=pid,
+            trace_cache=trace_cache,
+        )
+
+    def _failed_result(
+        self, spec: JobSpec, error: BaseException, attempt: int
+    ) -> JobResult:
+        return JobResult(
+            spec_hash=spec.spec_hash,
+            status="failed",
+            spec=spec.to_dict(),
+            error=f"{type(error).__name__}: {error}",
+            attempts=attempt,
+        )
+
+    def _record(self, result: JobResult, results: Dict[str, JobResult]) -> None:
+        if self.store is not None:
+            self.store.record(result)
+        results[result.spec_hash] = result
+        if result.ok:
+            self.stats.executed += 1
+            self.reporter.job_done(result)
+        else:
+            self.stats.failed += 1
+            self.reporter.job_failed(result)
+
+    # ------------------------------------------------------------------
+    # In-process execution (jobs=1 and the degradation path)
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self,
+        items: Iterable[Tuple[JobSpec, int]],
+        results: Dict[str, JobResult],
+    ) -> None:
+        for spec, attempt in items:
+            while True:
+                start = time.perf_counter()
+                try:
+                    payload = self.job_fn(spec)
+                except Exception as error:  # noqa: BLE001 — jobs may raise anything
+                    if attempt < self.options.max_attempts:
+                        delay = self._backoff(attempt)
+                        self.stats.retried += 1
+                        self.reporter.job_retry(spec, attempt, delay)
+                        time.sleep(delay)
+                        attempt += 1
+                        continue
+                    self._record(self._failed_result(spec, error, attempt), results)
+                    break
+                self._record(
+                    self._ok_result(
+                        spec, payload, attempt, time.perf_counter() - start
+                    ),
+                    results,
+                )
+                break
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _new_executor(self, workers: int) -> ProcessPoolExecutor:
+        kwargs: Dict[str, Any] = {}
+        if self.initializer is not None:
+            kwargs["initializer"] = self.initializer
+            kwargs["initargs"] = (self.options.trace_cache_capacity,)
+        return ProcessPoolExecutor(max_workers=workers, **kwargs)
+
+    @staticmethod
+    def _shutdown(executor: ProcessPoolExecutor, kill: bool) -> None:
+        try:
+            executor.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # pragma: no cover — best effort
+            pass
+        if kill:
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover — already dead
+                    pass
+            for process in list(processes.values()):
+                try:
+                    process.join(timeout=1.0)
+                except Exception:  # pragma: no cover
+                    pass
+
+    def _attempt_failed(
+        self,
+        info: _InFlight,
+        error: BaseException,
+        retry_heap: List[Tuple[float, int, JobSpec, int]],
+        results: Dict[str, JobResult],
+    ) -> None:
+        if info.attempt < self.options.max_attempts:
+            delay = self._backoff(info.attempt)
+            self.stats.retried += 1
+            self.reporter.job_retry(info.spec, info.attempt, delay)
+            heapq.heappush(
+                retry_heap,
+                (
+                    time.monotonic() + delay,
+                    next(self._retry_seq),
+                    info.spec,
+                    info.attempt + 1,
+                ),
+            )
+        else:
+            self._record(self._failed_result(info.spec, error, info.attempt), results)
+
+    def _run_pool(
+        self, pending: List[JobSpec], results: Dict[str, JobResult]
+    ) -> None:
+        opts = self.options
+        workers = opts.effective_jobs
+        executor: Optional[ProcessPoolExecutor] = self._new_executor(workers)
+        restarts = 0
+        queue: Deque[Tuple[JobSpec, int]] = deque((spec, 1) for spec in pending)
+        retry_heap: List[Tuple[float, int, JobSpec, int]] = []
+        inflight: Dict[Future, _InFlight] = {}
+
+        def remaining_work() -> List[Tuple[JobSpec, int]]:
+            """Drain all queued/retrying/in-flight work (for degradation)."""
+            items = [(info.spec, info.attempt) for info in inflight.values()]
+            inflight.clear()
+            items.extend(queue)
+            queue.clear()
+            while retry_heap:
+                _, _, spec, attempt = heapq.heappop(retry_heap)
+                items.append((spec, attempt))
+            return items
+
+        def restart_pool(kill: bool) -> bool:
+            """Recycle the executor; returns True if degraded to in-process."""
+            nonlocal executor, restarts
+            assert executor is not None
+            self._shutdown(executor, kill=kill)
+            executor = None
+            restarts += 1
+            if restarts > opts.max_pool_restarts:
+                self.reporter.event(
+                    "worker pool kept failing; degrading to in-process execution"
+                )
+                return True
+            self.reporter.event("restarting worker pool")
+            executor = self._new_executor(workers)
+            return False
+
+        try:
+            while queue or retry_heap or inflight:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, spec, attempt = heapq.heappop(retry_heap)
+                    queue.append((spec, attempt))
+
+                # Keep exactly `workers` jobs in flight so per-job deadlines
+                # measure running time, not queueing time.
+                while queue and len(inflight) < workers and executor is not None:
+                    spec, attempt = queue.popleft()
+                    try:
+                        future = executor.submit(self.job_fn, spec)
+                    except (BrokenProcessPool, RuntimeError) as error:
+                        queue.appendleft((spec, attempt))
+                        for item in remaining_work():
+                            queue.append(item)
+                        if restart_pool(kill=True):
+                            self._run_inline(remaining_work(), results)
+                            return
+                        self.reporter.event(f"submit failed, pool restarted: {error}")
+                        break
+                    inflight[future] = _InFlight(
+                        spec,
+                        attempt,
+                        now + opts.timeout_s if opts.timeout_s is not None else None,
+                    )
+
+                if not inflight:
+                    if retry_heap and not queue:
+                        time.sleep(
+                            min(0.05, max(0.0, retry_heap[0][0] - time.monotonic()))
+                        )
+                    continue
+
+                wait_timeout = 0.5
+                deadlines = [
+                    info.deadline
+                    for info in inflight.values()
+                    if info.deadline is not None
+                ]
+                if deadlines:
+                    wait_timeout = min(wait_timeout, max(0.01, min(deadlines) - now))
+                if retry_heap:
+                    wait_timeout = min(
+                        wait_timeout, max(0.01, retry_heap[0][0] - now)
+                    )
+                done, _ = wait(
+                    list(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
+                for future in done:
+                    info = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as error:
+                        pool_broken = True
+                        self._attempt_failed(info, error, retry_heap, results)
+                    except Exception as error:  # noqa: BLE001
+                        self._attempt_failed(info, error, retry_heap, results)
+                    else:
+                        self._record(
+                            self._ok_result(info.spec, payload, info.attempt, 0.0),
+                            results,
+                        )
+
+                if pool_broken:
+                    for spec, attempt in remaining_work():
+                        queue.append((spec, attempt))
+                    if restart_pool(kill=True):
+                        self._run_inline(remaining_work(), results)
+                        return
+                    continue
+
+                now = time.monotonic()
+                expired = [
+                    (future, info)
+                    for future, info in inflight.items()
+                    if info.deadline is not None and now >= info.deadline
+                ]
+                if expired:
+                    for future, info in expired:
+                        del inflight[future]
+                        future.cancel()
+                        self._attempt_failed(
+                            info,
+                            JobTimeoutError(
+                                f"job {info.spec.spec_hash} ({info.spec.label}) "
+                                f"timed out after {opts.timeout_s}s"
+                            ),
+                            retry_heap,
+                            results,
+                        )
+                    # The hung workers are still burning CPU: recycle the
+                    # pool to actually kill them, re-queueing the innocent
+                    # in-flight jobs at their current attempt.
+                    for spec, attempt in remaining_work():
+                        queue.append((spec, attempt))
+                    if queue or retry_heap:
+                        if restart_pool(kill=True):
+                            self._run_inline(remaining_work(), results)
+                            return
+                    else:
+                        self._shutdown(executor, kill=True)
+                        executor = None
+        finally:
+            if executor is not None:
+                self._shutdown(executor, kill=bool(inflight))

@@ -1,0 +1,78 @@
+"""(De)serialisation of simulation results for the on-disk result store.
+
+:class:`~repro.core.results.SimulationResult` is a tree of plain
+dataclasses, so serialising is ``dataclasses.asdict``; deserialising
+rebuilds each component explicitly so that schema drift fails loudly
+instead of resurrecting half-filled records.  The only JSON wrinkle is
+that ``PacketStats.per_tenant_processed`` is keyed by integer SID, which
+JSON stringifies — keys are converted back on load.
+
+Round-tripping is exact: ``json`` serialises floats via ``repr``, which
+Python guarantees to round-trip, so a restored result compares equal
+(``==``) to the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.analysis.scale import RunScale
+from repro.cache.base import CacheStats
+from repro.core.ptb import PtbStats
+from repro.core.results import RequestLatencyStats, SimulationResult
+from repro.device.packet import PacketStats
+from repro.mem.dram import DramStats
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Serialise a :class:`SimulationResult` to JSON-compatible data."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` data."""
+    packets_raw = dict(raw["packets"])
+    packets_raw["per_tenant_processed"] = {
+        int(sid): count
+        for sid, count in (packets_raw.get("per_tenant_processed") or {}).items()
+    }
+    return SimulationResult(
+        config_name=raw["config_name"],
+        benchmark=raw["benchmark"],
+        num_tenants=raw["num_tenants"],
+        interleaving=raw["interleaving"],
+        link_bandwidth_gbps=raw["link_bandwidth_gbps"],
+        elapsed_ns=raw["elapsed_ns"],
+        achieved_bandwidth_gbps=raw["achieved_bandwidth_gbps"],
+        packets=PacketStats(**packets_raw),
+        latency=RequestLatencyStats(**raw["latency"]),
+        ptb=PtbStats(**raw["ptb"]),
+        dram=DramStats(**raw["dram"]),
+        cache_stats={
+            name: CacheStats(**stats)
+            for name, stats in (raw.get("cache_stats") or {}).items()
+        },
+        prefetch_buffer_hit_rate=raw.get("prefetch_buffer_hit_rate", 0.0),
+        prefetch_requests=raw.get("prefetch_requests", 0),
+        prefetch_supplied=raw.get("prefetch_supplied", 0),
+        invalidation_messages=raw.get("invalidation_messages", 0),
+    )
+
+
+def scale_to_dict(scale: RunScale) -> Dict[str, Any]:
+    """Serialise a :class:`RunScale` (tuples become lists)."""
+    return dataclasses.asdict(scale)
+
+
+def scale_from_dict(raw: Dict[str, Any]) -> RunScale:
+    """Rebuild a :class:`RunScale` from :func:`scale_to_dict` data."""
+    return RunScale(
+        name=raw["name"],
+        tenant_counts=tuple(raw["tenant_counts"]),
+        interleavings=tuple(raw["interleavings"]),
+        benchmarks=tuple(raw["benchmarks"]),
+        max_packets=raw["max_packets"],
+        packets_per_tenant=raw.get("packets_per_tenant", 200_000),
+        warmup_fraction=raw.get("warmup_fraction", 0.25),
+    )

@@ -1,0 +1,182 @@
+"""Job model: one sweep point as a pure, picklable, content-addressed job.
+
+A :class:`JobSpec` is everything a worker process needs to reproduce one
+simulation — the architecture (as plain data, via
+:mod:`repro.core.config_io`), the workload coordinates, and the scaling
+knobs that affect the result.  Deliberately *excluded* is anything that
+does not change the outcome (e.g. the name of the
+:class:`~repro.analysis.scale.RunScale` preset, or which other points the
+surrounding sweep contains), so the content hash identifies the result
+itself: two sweeps that share a point share its cache entry.
+
+Hashes are computed over canonical JSON (sorted keys, no whitespace) with
+SHA-256 and truncated to 16 hex characters; they are stable across
+processes, interpreter restarts, and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.analysis.scale import RunScale
+from repro.core.config import ArchConfig
+from repro.core.config_io import config_from_dict, config_to_dict
+
+#: Truncated SHA-256 length (64 bits: collision-safe for any plausible run).
+_HASH_CHARS = 16
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A pure description of one sweep point.
+
+    ``config`` is the :class:`ArchConfig` serialised to plain data;
+    ``max_packets`` / ``packets_per_tenant`` / ``warmup_fraction`` are the
+    three :class:`RunScale` knobs that influence a single point.
+    """
+
+    config: Dict[str, Any]
+    benchmark: str
+    num_tenants: int
+    interleaving: str
+    max_packets: int
+    packets_per_tenant: int = 200_000
+    warmup_fraction: float = 0.25
+    seed: int = 0
+    native: bool = False
+
+    @classmethod
+    def from_point(
+        cls,
+        config: ArchConfig,
+        benchmark: str,
+        num_tenants: int,
+        interleaving: str,
+        scale: RunScale,
+        *,
+        seed: int = 0,
+        native: bool = False,
+    ) -> "JobSpec":
+        """Build the spec for ``run_point(config, benchmark, ...)``."""
+        return cls(
+            config=config_to_dict(config),
+            benchmark=benchmark,
+            num_tenants=num_tenants,
+            interleaving=interleaving,
+            max_packets=scale.max_packets,
+            packets_per_tenant=scale.packets_per_tenant,
+            warmup_fraction=scale.warmup_fraction,
+            seed=seed,
+            native=native,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": dict(self.config),
+            "benchmark": self.benchmark,
+            "num_tenants": self.num_tenants,
+            "interleaving": self.interleaving,
+            "max_packets": self.max_packets,
+            "packets_per_tenant": self.packets_per_tenant,
+            "warmup_fraction": self.warmup_fraction,
+            "seed": self.seed,
+            "native": self.native,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "JobSpec":
+        return cls(**raw)
+
+    def canonical_json(self) -> str:
+        """Deterministic serialisation (the hash input)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable content hash identifying this job's result."""
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:_HASH_CHARS]
+
+    # ------------------------------------------------------------------
+    def arch_config(self) -> ArchConfig:
+        """Reconstruct the :class:`ArchConfig` (raises on malformed data)."""
+        return config_from_dict(dict(self.config))
+
+    def run_scale(self) -> RunScale:
+        """A single-point :class:`RunScale` carrying this spec's knobs."""
+        return RunScale(
+            name="job",
+            tenant_counts=(self.num_tenants,),
+            interleavings=(self.interleaving,),
+            benchmarks=(self.benchmark,),
+            max_packets=self.max_packets,
+            packets_per_tenant=self.packets_per_tenant,
+            warmup_fraction=self.warmup_fraction,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        name = self.config.get("name", "?") if isinstance(self.config, dict) else "?"
+        return (
+            f"{name}/{self.benchmark}/{self.num_tenants}t/"
+            f"{self.interleaving}/s{self.seed}"
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job attempt chain (success or exhausted failure).
+
+    ``result`` holds the :class:`~repro.core.results.SimulationResult`
+    serialised via :mod:`repro.runner.serialize`; ``trace_cache`` holds the
+    worker's cumulative per-process trace-cache counters at completion
+    time.  ``cached`` is a per-invocation flag (never persisted): it marks
+    results answered from the store without executing anything.
+    """
+
+    spec_hash: str
+    status: str  # "ok" | "failed"
+    spec: Dict[str, Any] = field(default_factory=dict)
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    duration_s: float = 0.0
+    worker_pid: Optional[int] = None
+    trace_cache: Optional[Dict[str, int]] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_hash": self.spec_hash,
+            "status": self.status,
+            "spec": self.spec,
+            "result": self.result,
+            "error": self.error,
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+            "worker_pid": self.worker_pid,
+            "trace_cache": self.trace_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "JobResult":
+        return cls(
+            spec_hash=raw["spec_hash"],
+            status=raw["status"],
+            spec=raw.get("spec") or {},
+            result=raw.get("result"),
+            error=raw.get("error"),
+            attempts=raw.get("attempts", 1),
+            duration_s=raw.get("duration_s", 0.0),
+            worker_pid=raw.get("worker_pid"),
+            trace_cache=raw.get("trace_cache"),
+        )

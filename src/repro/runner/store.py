@@ -1,0 +1,191 @@
+"""On-disk result store: memoized, append-only, crash-safe.
+
+Layout (one directory per run under the runs root, default
+``.repro-runs/``)::
+
+    .repro-runs/<run-id>/
+        manifest.json    # environment, git state, scale, wall clock, counts
+        results.jsonl    # one JobResult per line, appended as jobs finish
+
+``results.jsonl`` is append-only and fsynced per record, so a crash or
+Ctrl-C loses at most the in-flight jobs; a truncated final line (torn
+write) is skipped on load.  Completed jobs are memoized by
+:attr:`~repro.runner.spec.JobSpec.spec_hash` — re-running a sweep, or
+resuming a killed run, only executes the missing points.  Failed attempts
+are recorded too (for the audit trail) but never memoized, so a resume
+retries them.
+
+``manifest.json`` records *how* the results were produced: git commit and
+dirty flag, python version, CPU count, the ``REPRO_BENCH_SCALE``
+environment variable, and accumulated wall clock across invocations — so
+result trajectories (and the BENCH_*.json history they feed) stay
+attributable to an environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.analysis.scale import SCALE_ENV_VAR
+from repro.runner.spec import JobResult
+
+#: Default runs root, relative to the working directory.
+DEFAULT_RUNS_DIR = ".repro-runs"
+
+RESULTS_FILE = "results.jsonl"
+MANIFEST_FILE = "manifest.json"
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def environment_info() -> Dict[str, Any]:
+    """The per-run environment block recorded in the manifest."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "executable": sys.executable,
+        SCALE_ENV_VAR: os.environ.get(SCALE_ENV_VAR),
+    }
+
+
+def git_state(cwd: Optional[Path] = None) -> Dict[str, Any]:
+    """Best-effort git commit + dirty flag (``{"commit": None}`` outside a
+    repository or when git is unavailable)."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5, check=True,
+        ).stdout
+        return {"commit": commit, "dirty": bool(status.strip())}
+    except (OSError, subprocess.SubprocessError):
+        return {"commit": None, "dirty": None}
+
+
+class ResultStore:
+    """Result database for one run, keyed by job spec hash."""
+
+    def __init__(self, root: Path, run_id: str, create: bool = True):
+        self.run_id = run_id
+        self.directory = Path(root) / run_id
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        elif not self.directory.is_dir():
+            raise FileNotFoundError(f"no such run directory: {self.directory}")
+        self._completed: Dict[str, JobResult] = {}
+        self._failed_lines = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    @property
+    def results_path(self) -> Path:
+        return self.directory / RESULTS_FILE
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_FILE
+
+    def _load(self) -> None:
+        path = self.results_path
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = JobResult.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Torn write from a crash mid-append: skip, the job
+                    # simply re-executes on resume.
+                    continue
+                if record.ok:
+                    self._completed[record.spec_hash] = record
+                else:
+                    self._failed_lines += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        return len(self._completed)
+
+    def get(self, spec_hash: str) -> Optional[JobResult]:
+        """The memoized *successful* result for ``spec_hash``, if any."""
+        return self._completed.get(spec_hash)
+
+    def record(self, result: JobResult) -> None:
+        """Append ``result`` durably; successful records become memo hits."""
+        line = json.dumps(result.to_dict(), separators=(",", ":"))
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if result.ok:
+            self._completed[result.spec_hash] = result
+
+    def iter_completed(self) -> Iterator[JobResult]:
+        return iter(self._completed.values())
+
+    # ------------------------------------------------------------------
+    def read_manifest(self) -> Dict[str, Any]:
+        try:
+            return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def write_manifest(
+        self,
+        wall_clock_s: Optional[float] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Merge ``fields`` into the manifest (atomically, via tmp+rename).
+
+        ``wall_clock_s`` accumulates into ``total_wall_clock_s`` across
+        invocations, so a resumed run reports the full cost of the result
+        set, not just the final slice.
+        """
+        manifest = self.read_manifest()
+        manifest.setdefault("run_id", self.run_id)
+        manifest.setdefault("created_at", _utc_now())
+        manifest["updated_at"] = _utc_now()
+        manifest["environment"] = environment_info()
+        manifest["git"] = git_state()
+        if wall_clock_s is not None:
+            manifest["total_wall_clock_s"] = round(
+                manifest.get("total_wall_clock_s", 0.0) + wall_clock_s, 3
+            )
+        manifest.update(fields)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self.manifest_path)
+        return manifest
+
+
+def list_runs(root: Path = Path(DEFAULT_RUNS_DIR)) -> List[str]:
+    """Run ids present under ``root`` (directories with a results file or
+    manifest), sorted by name."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    runs = [
+        entry.name
+        for entry in root.iterdir()
+        if entry.is_dir()
+        and ((entry / RESULTS_FILE).exists() or (entry / MANIFEST_FILE).exists())
+    ]
+    return sorted(runs)

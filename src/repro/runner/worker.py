@@ -1,0 +1,60 @@
+"""Worker-process entry points (top-level, picklable by reference).
+
+These functions are shipped to :class:`~concurrent.futures.ProcessPoolExecutor`
+workers, so they must stay importable module-level callables and exchange
+only plain data: a :class:`~repro.runner.spec.JobSpec` in, a payload dict
+out (the scheduler turns payloads into
+:class:`~repro.runner.spec.JobResult` records).
+
+The module-global trace cache in :mod:`repro.analysis.sweeps` is
+**per process**: sharing it through the orchestrating process would be
+silently useless across workers.  Instead :func:`pool_initializer` primes
+each worker's own cache — bounding its capacity (memory is per worker, so
+the pool-wide footprint is ``jobs x capacity`` traces), zeroing its
+counters so telemetry is attributable, and clearing any state inherited
+from the parent at fork time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+from repro.analysis import sweeps
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import JobSpec
+
+#: Default per-worker trace-cache capacity.  Deliberately smaller than the
+#: in-process default (8): a pool holds one cache *per worker*.
+DEFAULT_WORKER_TRACE_CAPACITY = 4
+
+
+def pool_initializer(trace_cache_capacity: int = DEFAULT_WORKER_TRACE_CAPACITY) -> None:
+    """Prime one worker process: bounded private trace cache, clean state."""
+    sweeps.clear_point_hook()
+    sweeps.clear_trace_cache()
+    sweeps.reset_trace_cache_stats()
+    sweeps.set_trace_cache_capacity(trace_cache_capacity)
+
+
+def execute_job(spec: JobSpec) -> Dict[str, Any]:
+    """Run one sweep point and return its payload (the default job fn)."""
+    start = time.perf_counter()
+    config = spec.arch_config()
+    scale = spec.run_scale()
+    point = sweeps.run_point(
+        config,
+        spec.benchmark,
+        spec.num_tenants,
+        spec.interleaving,
+        scale,
+        native=spec.native,
+        seed=spec.seed,
+    )
+    return {
+        "result": result_to_dict(point.result),
+        "duration_s": time.perf_counter() - start,
+        "pid": os.getpid(),
+        "trace_cache": sweeps.trace_cache_stats().as_dict(),
+    }

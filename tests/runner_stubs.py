@@ -1,0 +1,43 @@
+"""Picklable stub job functions for the scheduler tests.
+
+These live in an importable module (not the test file's local scope is
+fine too under fork, but keeping them here makes them picklable by
+reference under every multiprocessing start method).
+"""
+
+import os
+import time
+
+
+def ok_job(spec):
+    """Deterministic success payload derived from the spec."""
+    return {
+        "result": {"seed": spec.seed, "benchmark": spec.benchmark},
+        "duration_s": 0.001,
+        "pid": os.getpid(),
+    }
+
+
+def failing_job(spec):
+    """Always raises, carrying the seed so the error is attributable."""
+    raise ValueError(f"kaboom-{spec.seed}")
+
+
+def hang_job(spec):
+    """Hangs forever for the 'hang' benchmark, succeeds otherwise."""
+    if spec.benchmark == "hang":
+        time.sleep(120)
+    return ok_job(spec)
+
+
+def fail_once_job(spec):
+    """Fails the first attempt, succeeds after (marker file = shared state).
+
+    The marker path is smuggled through the spec's free-form config dict.
+    """
+    marker = spec.config["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return ok_job(spec)

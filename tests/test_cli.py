@@ -24,6 +24,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "figure10", "--scale", "huge"])
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--experiment", "figure10"])
+        assert args.jobs == 0  # all cores
+        assert args.run_id is None and args.resume is None
+        assert args.runs_dir == ".repro-runs"
+        assert args.retries == 1 and args.timeout is None
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_sweep_packets_defaults_to_scale_cap(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.packets is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -92,3 +107,78 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Base" in output and "HyperTRIO" in output
         assert "utilisation" in output  # chart title rendered
+
+    def test_sweep_forwards_seed_and_packets(self, capsys, monkeypatch):
+        import types
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        calls = []
+
+        def fake_run_point(config, benchmark, count, interleaving, scale,
+                           native=False, seed=0):
+            calls.append({"seed": seed, "max_packets": scale.max_packets})
+            return types.SimpleNamespace(utilization_percent=50.0)
+
+        monkeypatch.setattr("repro.cli.run_point", fake_run_point)
+        code = main([
+            "sweep", "--tenants", "2", "--seed", "7", "--packets", "777",
+        ])
+        assert code == 0
+        assert calls and all(c["seed"] == 7 for c in calls)
+        assert all(c["max_packets"] == 777 for c in calls)
+
+    def test_sweep_without_packets_uses_scale_cap(self, capsys, monkeypatch):
+        import types
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        calls = []
+
+        def fake_run_point(config, benchmark, count, interleaving, scale,
+                           native=False, seed=0):
+            calls.append(scale.max_packets)
+            return types.SimpleNamespace(utilization_percent=50.0)
+
+        monkeypatch.setattr("repro.cli.run_point", fake_run_point)
+        assert main(["sweep", "--tenants", "2"]) == 0
+        from repro.analysis.scale import SMOKE
+        assert calls and all(cap == SMOKE.max_packets for cap in calls)
+
+
+class TestRunCommand:
+    def test_unknown_experiment(self, capsys, tmp_path):
+        code = main([
+            "run", "--experiment", "figure99", "--runs-dir", str(tmp_path),
+        ])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_resume_missing_run(self, capsys, tmp_path):
+        code = main([
+            "run", "--experiment", "figure9", "--resume", "nope",
+            "--runs-dir", str(tmp_path),
+        ])
+        assert code == 2
+        assert "no run directory" in capsys.readouterr().err
+
+    def test_parallel_run_then_fully_cached_rerun(self, capsys, tmp_path,
+                                                  monkeypatch):
+        argv = [
+            "run", "--experiment", "figure9", "--jobs", "2",
+            "--scale", "smoke", "--runs-dir", str(tmp_path),
+            "--run-id", "ci", "--no-progress",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Figure 9" in first
+        assert "4 jobs: 4 executed, 0 cached" in first
+
+        # Same run-id again: zero simulations re-executed.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "4 jobs: 0 executed, 4 cached" in second
+        # The tables themselves are identical.
+        assert first.split("[run")[0] == second.split("[run")[0]
+
+        manifest = (tmp_path / "ci" / "manifest.json").read_text()
+        assert '"experiment": "figure9"' in manifest
+        assert '"cpu_count"' in manifest
