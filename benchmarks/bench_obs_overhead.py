@@ -1,0 +1,97 @@
+"""Guard: disabled observability must cost (near) nothing.
+
+The observability layer's contract (docs/OBSERVABILITY.md) is that a
+simulator constructed with ``Observability.disabled()`` — or with no
+bundle at all — has an identical hot path: the ``enabled`` flag is
+checked once at attach time and every per-request tracer/metrics call is
+compiled out into ``None`` attribute loads.  This benchmark enforces the
+budget: the disabled-bundle run must stay within ``BUDGET_FRACTION``
+(3 %) of the un-instrumented baseline.
+
+Runs standalone (CI calls it directly) or under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    pytest benchmarks/bench_obs_overhead.py
+
+Trials alternate baseline/disabled and the comparison uses the minimum
+per side, so one-off scheduler hiccups cannot produce a false failure
+(or mask a true regression behind a slow baseline trial).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import base_config
+from repro.obs import Observability
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import MEDIASTREAM
+
+#: Allowed slowdown of the disabled-observability run vs the baseline.
+BUDGET_FRACTION = 0.03
+TRIALS = 5
+TENANTS = 32
+PACKETS = 6_000
+
+
+def _time_run(trace, observability) -> float:
+    config = base_config()
+    simulator = HyperSimulator(config, trace, observability=observability)
+    start = time.perf_counter()
+    simulator.run()
+    return time.perf_counter() - start
+
+
+def measure_overhead() -> dict:
+    """Min-of-N timings for baseline vs disabled bundle; returns a report."""
+    trace = construct_trace(
+        MEDIASTREAM, num_tenants=TENANTS, packets_per_tenant=200_000,
+        max_packets=PACKETS,
+    )
+    # Warm both paths once (imports, allocator, trace-derived state).
+    _time_run(trace, None)
+    _time_run(trace, Observability.disabled())
+    baseline_times = []
+    disabled_times = []
+    for _ in range(TRIALS):
+        baseline_times.append(_time_run(trace, None))
+        disabled_times.append(_time_run(trace, Observability.disabled()))
+    baseline = min(baseline_times)
+    disabled = min(disabled_times)
+    return {
+        "baseline_s": baseline,
+        "disabled_s": disabled,
+        "overhead_fraction": disabled / baseline - 1.0,
+        "budget_fraction": BUDGET_FRACTION,
+    }
+
+
+def test_disabled_observability_within_budget():
+    report = measure_overhead()
+    assert report["overhead_fraction"] < BUDGET_FRACTION, (
+        f"disabled observability costs "
+        f"{report['overhead_fraction'] * 100:.2f}% "
+        f"(budget {BUDGET_FRACTION * 100:.0f}%): "
+        f"baseline {report['baseline_s'] * 1e3:.1f} ms, "
+        f"disabled {report['disabled_s'] * 1e3:.1f} ms"
+    )
+
+
+def main() -> int:
+    report = measure_overhead()
+    print(
+        f"baseline {report['baseline_s'] * 1e3:8.1f} ms  "
+        f"disabled {report['disabled_s'] * 1e3:8.1f} ms  "
+        f"overhead {report['overhead_fraction'] * 100:+6.2f}% "
+        f"(budget {BUDGET_FRACTION * 100:.0f}%)"
+    )
+    if report["overhead_fraction"] >= BUDGET_FRACTION:
+        print("FAIL: disabled observability exceeds its overhead budget")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Export a Perfetto trace and per-tenant metrics from one run.
+
+Attaches a full observability bundle (event tracer + metrics registry +
+cross-tenant eviction attribution) to a Base-configuration run, then:
+
+* writes ``trace_export.trace.json`` — open it at https://ui.perfetto.dev
+  (or ``chrome://tracing``) to see one track per hardware structure with
+  one row per tenant: packet admissions, DevTLB hits/misses, walker-pool
+  spans, PTB queueing, prefetch lifecycles;
+* writes ``trace_export.metrics.json`` — per-SID latency percentiles and
+  which tenant evicted which tenant's cache entries (render it with
+  ``repro-sim report-metrics trace_export.metrics.json``);
+* prints the per-tenant p99 table directly, showing the interference the
+  shared Base DevTLB lets one tenant inflict on another.
+
+Run:  python examples/trace_export.py
+"""
+
+from repro import base_config, construct_trace
+from repro.obs import Observability, write_metrics, write_trace
+from repro.sim.simulator import HyperSimulator
+from repro.trace import MEDIASTREAM
+
+
+def main():
+    tenants = 16
+    trace = construct_trace(
+        MEDIASTREAM,
+        num_tenants=tenants,
+        packets_per_tenant=200_000,
+        interleaving="RR1",
+        max_packets=4_000,
+    )
+    # sample_rate < 1 keeps the trace small on long runs; sampling is per
+    # packet (a request's lifecycle is never half-recorded) and seeded,
+    # so re-running reproduces the same sample.
+    observability = Observability.recording(sample_rate=0.5, seed=0)
+    result = HyperSimulator(
+        base_config(), trace, observability=observability
+    ).run()
+
+    tracer = observability.tracer
+    trace_path = write_trace(tracer.events, "trace_export.trace.json")
+    metrics_path = write_metrics(
+        "trace_export.metrics.json", observability, result
+    )
+    print(result.summary())
+    print(
+        f"\n{len(tracer.events)} events from {tracer.packets_sampled} sampled "
+        f"packets ({tracer.packets_skipped} skipped) -> {trace_path}"
+    )
+    print(f"per-tenant metrics -> {metrics_path}")
+
+    per_sid = observability.metrics.histograms_by_label(
+        "translation_latency_ns", "sid"
+    )
+    print("\nper-tenant translation latency (ns):")
+    print(f"  {'sid':>3}  {'requests':>8}  {'p50':>8}  {'p99':>8}  {'max':>8}")
+    for sid in sorted(per_sid):
+        histogram = per_sid[sid]
+        print(
+            f"  {sid:>3}  {histogram.count:>8}  "
+            f"{histogram.percentile(50):>8.0f}  "
+            f"{histogram.percentile(99):>8.0f}  {histogram.max_ns:>8.0f}"
+        )
+
+    cross = observability.evictions.cross_tenant_count("devtlb")
+    victims = observability.evictions.victim_counts("devtlb")
+    print(f"\ncross-tenant DevTLB evictions: {cross}")
+    if victims:
+        worst = max(victims, key=victims.get)
+        print(
+            f"worst-hit tenant: sid {worst} lost {victims[worst]} entries "
+            f"to other tenants (HyperTRIO's partitioned DevTLB drives this "
+            f"to zero by construction)"
+        )
+
+
+if __name__ == "__main__":
+    main()

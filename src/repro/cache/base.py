@@ -68,6 +68,12 @@ class TranslationCache(ABC):
     def __init__(self, name: str = "cache"):
         self.name = name
         self.stats = CacheStats()
+        #: Optional observability hook ``callable(inserted_key, victim_key)``
+        #: invoked on every capacity eviction (not on invalidations).  Left
+        #: ``None`` unless an observer attaches one, so the only cost on the
+        #: eviction path is a single ``is not None`` check — see
+        #: :meth:`repro.obs.metrics.EvictionAttribution.listener_for`.
+        self.eviction_listener = None
 
     @abstractmethod
     def lookup(self, key: Hashable) -> Optional[Any]:

@@ -83,6 +83,23 @@ class PartitionedCache(SetAssociativeCache):
             folded = hash(secondary)
         return base + folded % self._sets_per_partition
 
+    def partition_of_key(self, key: Hashable) -> int:
+        """Partition a ``(sid, secondary)`` key is confined to.
+
+        Observability helper: cross-tenant eviction attribution (see
+        :class:`repro.obs.metrics.EvictionAttribution`) uses this to show
+        that any cross-tenant evictions observed in a partitioned cache
+        are *intra*-partition (tenants folded onto the same PTag) — a
+        tenant in a different partition can never be the victim, which is
+        the isolation property the paper claims.
+        """
+        if not (isinstance(key, tuple) and len(key) == 2):
+            raise TypeError(
+                f"{self.name}: partitioned caches require (sid, page) keys, "
+                f"got {key!r}"
+            )
+        return partition_of(key[0], self.num_partitions)
+
     def partition_occupancy(self, partition: int) -> int:
         """Total valid entries across the sets of ``partition``."""
         if not 0 <= partition < self.num_partitions:

@@ -154,6 +154,8 @@ class SetAssociativeCache(TranslationCache):
             del entry_set[victim]
             pins.pop(victim, None)
             self.stats.evictions += 1
+            if self.eviction_listener is not None:
+                self.eviction_listener(key, victim)
         entry_set[key] = value
         policy.on_fill(key)
         if priority:

@@ -3,10 +3,13 @@
 Subcommands::
 
     repro-sim simulate    --benchmark mediastream --tenants 64 --config hypertrio
+                          [--trace-out run.trace.json --metrics-out run.metrics.json]
     repro-sim sweep       --benchmark websearch --interleaving RR4
+                          [--metrics-out sweep.metrics.json]
     repro-sim characterize --benchmark mediastream --packets 95000
     repro-sim experiment  figure10 [--scale default]
     repro-sim run         --experiment figure10 --jobs 4 [--resume RUN_ID]
+    repro-sim report-metrics run.metrics.json [--chart]
     repro-sim list        # available experiments / benchmarks / runs
 
 Installed as the ``repro-sim`` console script (see pyproject.toml); also
@@ -73,10 +76,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = load_config(args.config_file)
     else:
         config = _CONFIGS[args.config]()
-    result = HyperSimulator(config, trace).run(
+    observability = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import Observability
+
+        if args.trace_out:
+            observability = Observability.recording(
+                sample_rate=args.trace_sample, seed=args.seed
+            )
+        else:
+            observability = Observability.metrics_only()
+    result = HyperSimulator(config, trace, observability=observability).run(
         warmup_packets=len(trace.packets) // 4
     )
     print(result.summary())
+    if args.trace_out:
+        from repro.obs.export import write_trace
+
+        tracer = observability.tracer
+        path = write_trace(tracer.events, args.trace_out)
+        print(f"  trace: {path} ({len(tracer.events)} events, "
+              f"{tracer.packets_sampled} packets sampled)")
+    if args.metrics_out:
+        from repro.obs.export import write_metrics
+
+        path = write_metrics(args.metrics_out, observability, result)
+        print(f"  metrics: {path}")
     if args.verbose:
         for name, stats in sorted(result.cache_stats.items()):
             print(f"  {name:16s} hit {stats.hit_rate * 100:5.1f}% "
@@ -95,6 +120,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale = dataclasses.replace(scale, max_packets=args.packets)
     counts = [int(c) for c in args.tenants.split(",")]
     columns = {"Base": [], "HyperTRIO": []}
+    metric_points = []
     for count in counts:
         for name, factory in (("Base", base_config), ("HyperTRIO", hypertrio_config)):
             point = run_point(
@@ -106,6 +132,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"{name:10s} {count:5d} tenants: "
                 f"{point.utilization_percent:5.1f}%"
             )
+            if args.metrics_out:
+                result = point.result
+                metric_points.append(
+                    {
+                        "config": point.config_name,
+                        "num_tenants": count,
+                        "utilization_percent": point.utilization_percent,
+                        "achieved_bandwidth_gbps": result.achieved_bandwidth_gbps,
+                        "packets_dropped": result.packets.dropped,
+                        "latency": {
+                            "count": result.latency.count,
+                            "mean_ns": result.latency.mean_ns,
+                            "min_ns": result.latency.min_ns,
+                            "max_ns": result.latency.max_ns,
+                            **result.percentiles,
+                        },
+                    }
+                )
+    if args.metrics_out:
+        import json
+
+        document = {
+            "schema": "repro-obs-sweep/1",
+            "benchmark": args.benchmark,
+            "interleaving": args.interleaving,
+            "points": metric_points,
+        }
+        Path(args.metrics_out).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"  metrics: {args.metrics_out}")
     if args.chart and len(counts) > 1:
         chart = chart_from_columns(
             f"{args.benchmark} / {args.interleaving}: link utilisation %",
@@ -189,7 +246,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     stats = runner.stats
     store.write_manifest(
-        wall_clock_s=stats.wall_clock_s, status="ok", jobs=stats.as_dict()
+        wall_clock_s=stats.wall_clock_s, status="ok", jobs=stats.as_dict(),
+        metrics=store.metrics_summary(),
     )
     print(table.render())
     print(
@@ -197,6 +255,107 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{stats.cached} cached, {stats.failed} failed in "
         f"{stats.wall_clock_s:.1f}s -> {store.directory}"
     )
+    return 0
+
+
+def _cmd_report_metrics(args: argparse.Namespace) -> int:
+    """Render a metrics JSON file (from ``--metrics-out``) as tables."""
+    import json
+
+    from repro.analysis.report import ExperimentTable
+
+    path = Path(args.metrics_file)
+    if not path.is_file():
+        print(f"no such metrics file: {path}", file=sys.stderr)
+        return 2
+    document = json.loads(path.read_text(encoding="utf-8"))
+    schema = document.get("schema", "")
+    if not schema.startswith("repro-obs-metrics/"):
+        print(f"not a repro-obs metrics file (schema {schema!r})", file=sys.stderr)
+        return 2
+
+    run = document.get("run") or {}
+    if run:
+        print(
+            f"run: {run.get('config')} / {run.get('benchmark')} / "
+            f"{run.get('num_tenants')} tenants / {run.get('interleaving')}"
+        )
+        print(
+            f"  bandwidth {run.get('achieved_bandwidth_gbps', 0.0):.1f} Gb/s "
+            f"({run.get('link_utilization', 0.0) * 100:.1f}% of link), "
+            f"drops {run.get('packets_dropped', 0)}"
+        )
+    overall = document.get("overall_latency") or {}
+    if overall:
+        print(
+            f"  latency mean {overall.get('mean_ns', 0.0):.0f} ns, "
+            f"p50/p95/p99 {overall.get('p50_ns', 0.0):.0f}/"
+            f"{overall.get('p95_ns', 0.0):.0f}/"
+            f"{overall.get('p99_ns', 0.0):.0f} ns"
+        )
+        print()
+
+    per_sid = document.get("per_sid_latency") or {}
+    if per_sid:
+        table = ExperimentTable(
+            experiment_id="per-tenant latency",
+            title="translation latency percentiles by SID (ns)",
+            columns=["sid", "requests", "mean", "p50", "p95", "p99", "max"],
+        )
+        for sid in sorted(per_sid, key=int):
+            summary = per_sid[sid]
+            table.add_row(
+                sid,
+                summary.get("count", 0),
+                summary.get("mean_ns", 0.0),
+                summary.get("p50_ns", 0.0),
+                summary.get("p95_ns", 0.0),
+                summary.get("p99_ns", 0.0),
+                summary.get("max_ns", 0.0),
+            )
+        print(table.render())
+        if args.chart and len(per_sid) > 1:
+            from repro.analysis.ascii_plot import AsciiChart
+
+            chart = AsciiChart(title="p99 translation latency by SID (ns)")
+            chart.add_series(
+                "p99",
+                [
+                    (int(sid), per_sid[sid].get("p99_ns", 0.0))
+                    for sid in sorted(per_sid, key=int)
+                ],
+            )
+            print()
+            print(chart.render())
+
+    evictions = document.get("cross_tenant_evictions") or {}
+    shown = {
+        name: block for name, block in sorted(evictions.items())
+        if block.get("total_cross_tenant")
+    }
+    if shown:
+        print()
+        table = ExperimentTable(
+            experiment_id="cross-tenant evictions",
+            title="entries evicted by another tenant (evictor -> victim)",
+            columns=["cache", "pair", "evictions"],
+        )
+        for name, block in shown.items():
+            pairs = sorted(
+                (block.get("pairs") or {}).items(),
+                key=lambda item: -item[1],
+            )
+            for pair, count in pairs[: args.top]:
+                table.add_row(name, pair, count)
+            if len(pairs) > args.top:
+                table.add_note(
+                    f"{name}: top {args.top} of {len(pairs)} pairs shown "
+                    f"({block['total_cross_tenant']} cross-tenant evictions total)"
+                )
+        print(table.render())
+    elif evictions:
+        print()
+        print("cross-tenant evictions: none recorded")
     return 0
 
 
@@ -239,6 +398,21 @@ def build_parser() -> argparse.ArgumentParser:
              "(see repro.core.config_io)",
     )
     simulate.add_argument("-v", "--verbose", action="store_true")
+    simulate.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a per-request event trace (.json = Perfetto-loadable "
+             "Chrome trace, .jsonl = one event per line)",
+    )
+    simulate.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write per-tenant metrics (latency percentiles, cross-tenant "
+             "evictions) as JSON; view with 'repro-sim report-metrics'",
+    )
+    simulate.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of packets to trace, 0..1 (default: 1.0); sampling "
+             "is deterministic for a given --seed",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = subparsers.add_parser("sweep", help="Base vs HyperTRIO tenant sweep")
@@ -248,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated tenant counts (default: 4,16,64,256)",
     )
     sweep.add_argument("--chart", action="store_true", help="ASCII chart output")
+    sweep.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write per-point latency percentiles and drop counts as JSON",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     characterize = subparsers.add_parser(
@@ -310,6 +488,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress progress/telemetry lines on stderr",
     )
     run.set_defaults(func=_cmd_run)
+
+    report = subparsers.add_parser(
+        "report-metrics",
+        help="render a --metrics-out file as per-tenant tables",
+    )
+    report.add_argument("metrics_file", help="metrics JSON written by simulate")
+    report.add_argument(
+        "--chart", action="store_true",
+        help="ASCII chart of p99 latency by SID",
+    )
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="cross-tenant eviction pairs to show per cache (default: 10)",
+    )
+    report.set_defaults(func=_cmd_report_metrics)
 
     lister = subparsers.add_parser("list", help="list experiments and benchmarks")
     lister.set_defaults(func=_cmd_list)

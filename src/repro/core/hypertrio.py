@@ -39,6 +39,36 @@ class TranslationPath:
     iova_history: Optional[IovaHistory]
     context_cache: ContextCache
 
+    def named_caches(self):
+        """``(name, cache)`` pairs for every translation cache in the path
+        (the names match :attr:`SimulationResult.cache_stats` keys)."""
+        pairs = [
+            ("devtlb", self.devtlb),
+            ("iotlb", self.iommu.iotlb),
+            ("nested_tlb", self.iommu.nested_tlb),
+            ("pte_cache", self.iommu.pte_cache),
+        ]
+        if self.prefetch_unit is not None:
+            pairs.append(("prefetch_buffer", self.prefetch_unit.buffer))
+        return pairs
+
+
+def attach_observability(path: TranslationPath, observability) -> None:
+    """Wire an :class:`~repro.obs.Observability` bundle into ``path``.
+
+    Currently this means installing cross-tenant eviction attribution
+    listeners on every cache (the direct measurement behind the paper's
+    isolation claim).  A disabled bundle — or one without an eviction
+    layer — attaches nothing, leaving every hot path untouched.
+    """
+    if observability is None or not observability.enabled:
+        return
+    evictions = observability.evictions
+    if evictions is None:
+        return
+    for name, cache in path.named_caches():
+        cache.eviction_listener = evictions.listener_for(name)
+
 
 def _build_tlb(
     tlb_config: TlbConfig,

@@ -38,6 +38,10 @@ class PrefetchStats:
     buffer_hits: int = 0
     buffer_misses: int = 0
     useless_prefetches: int = 0
+    #: Prefetches that completed and were installed at the device; the gap
+    #: to :attr:`supplied_translations` is translations fetched but never
+    #: used before eviction (the prefetcher's wasted work).
+    installs: int = 0
     #: Demand translations answered by a prefetched entry — whether it was
     #: found in the Prefetch Buffer or in the DevTLB row the prefetch
     #: completion installed it into (the paper's "valid translation from a
@@ -159,6 +163,7 @@ class PrefetchUnit:
 
     def install(self, sid: int, giova_page: int, hpa: int, page_shift: int) -> None:
         """Insert a completed prefetch into the PB."""
+        self.stats.installs += 1
         self.buffer.insert((sid, giova_page), (hpa, page_shift))
 
     def note_prefetch_issued(self, count: int = 1) -> None:

@@ -31,10 +31,19 @@ class PtbStats:
     max_occupancy: int = 0
     #: Sum of occupancy sampled at each issue (for mean occupancy).
     occupancy_accumulator: int = 0
+    #: Total time requests spent waiting for a free entry before issue —
+    #: the head-of-line blocking the paper's single-entry Base design
+    #: suffers, surfaced directly instead of only via stretched elapsed
+    #: time.
+    total_wait_ns: float = 0.0
 
     @property
     def mean_occupancy(self) -> float:
         return self.occupancy_accumulator / self.issued if self.issued else 0.0
+
+    @property
+    def mean_wait_ns(self) -> float:
+        return self.total_wait_ns / self.issued if self.issued else 0.0
 
 
 class PendingTranslationBuffer:
@@ -85,6 +94,7 @@ class PendingTranslationBuffer:
         if latency_ns < 0:
             raise ValueError("latency cannot be negative")
         start = self.earliest_free_time(now)
+        self.stats.total_wait_ns += start - now
         if len(self._completions) >= self.num_entries:
             # earliest_free_time returned a completion in the future: that
             # entry is the one we will reuse.

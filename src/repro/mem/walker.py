@@ -23,6 +23,26 @@ from repro.mem.address import PAGE_SHIFT_4K, page_base
 from repro.mem.pagetable import AddressSpace, TranslationFault, WalkStep
 
 
+@dataclass
+class WalkerStats:
+    """Walk-structure memoisation accounting (observability).
+
+    ``memo_hits`` are walks answered from the per-page memo;
+    ``walks_computed`` enumerated the page tables from scratch.  A low
+    hit rate on a hot walker means the tenant's working set outruns the
+    memo — exactly the case where walk latency dominates the run.
+    """
+
+    memo_hits: int = 0
+    walks_computed: int = 0
+    invalidations: int = 0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.walks_computed
+        return self.memo_hits / total if total else 0.0
+
+
 @dataclass(frozen=True)
 class NestedWalkPhase:
     """One guest level of a two-dimensional walk.
@@ -88,6 +108,7 @@ class TwoDimensionalWalker:
     def __init__(self, space: AddressSpace):
         self._space = space
         self._memo = {}
+        self.stats = WalkerStats()
 
     def walk(self, giova: int) -> TwoDimensionalWalk:
         """Translate ``giova`` and enumerate every access of the 2-D walk.
@@ -100,10 +121,14 @@ class TwoDimensionalWalker:
         if cached is None:
             cached = self._walk_uncached(page << 12)
             self._memo[page] = cached
+            self.stats.walks_computed += 1
+        else:
+            self.stats.memo_hits += 1
         return cached
 
     def invalidate(self, giova: int = None) -> None:
         """Drop memoised walks (all of them, or one page's)."""
+        self.stats.invalidations += 1
         if giova is None:
             self._memo.clear()
         else:

@@ -1,0 +1,133 @@
+"""End-to-end observability for the translation path.
+
+Three layers (see docs/OBSERVABILITY.md):
+
+* **event tracing** (:mod:`repro.obs.tracer`, :mod:`repro.obs.events`) —
+  per-request lifecycle events with deterministic sampling, exportable as
+  Perfetto-compatible Chrome trace JSON or JSONL;
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, log-bucketed
+  latency histograms keyed by structure and SID, plus cross-tenant
+  eviction attribution;
+* **surfacing** (:mod:`repro.obs.export`) — file exporters consumed by the
+  ``repro-sim`` CLI and the parallel runner.
+
+The simulator accepts an :class:`Observability` bundle::
+
+    obs = Observability.recording(sample_rate=1.0, seed=0)
+    result = HyperSimulator(config, trace, observability=obs).run()
+    write_trace(obs.tracer.events, "run.trace.json")     # Perfetto
+    write_metrics("run.metrics.json", obs, result)
+
+Cost when disabled is near zero: ``Observability.disabled()`` (or simply
+``observability=None``) leaves the hot path free of tracer and metrics
+calls — the simulator checks :attr:`Observability.enabled` once at attach
+time, and ``benchmarks/bench_obs_overhead.py`` guards the budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import events
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    metrics_document,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    EvictionAttribution,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    latency_bucket,
+    bucket_bounds,
+    bucket_midpoint,
+    percentile_from_buckets,
+)
+from repro.obs.tracer import NullTracer, RecordingTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "Counter",
+    "Gauge",
+    "EvictionAttribution",
+    "latency_bucket",
+    "bucket_bounds",
+    "bucket_midpoint",
+    "percentile_from_buckets",
+    "events",
+    "metrics_document",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "write_trace",
+    "METRICS_SCHEMA",
+]
+
+
+class Observability:
+    """Bundle of the three instruments a simulator can carry.
+
+    ``tracer`` is never ``None`` (a :class:`NullTracer` stands in);
+    ``metrics`` and ``evictions`` are ``None`` when their layer is off.
+    :attr:`enabled` is the single flag the simulator checks at attach
+    time — when it is ``False`` the hot path is identical to running with
+    no observability at all.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        evictions: Optional[EvictionAttribution] = None,
+    ):
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics
+        self.evictions = evictions
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.tracer.enabled
+            or self.metrics is not None
+            or self.evictions is not None
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recording(
+        cls,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        max_events: int = 2_000_000,
+    ) -> "Observability":
+        """All three layers on: recording tracer, registry, attribution."""
+        return cls(
+            tracer=RecordingTracer(
+                sample_rate=sample_rate, seed=seed, max_events=max_events
+            ),
+            metrics=MetricsRegistry(),
+            evictions=EvictionAttribution(),
+        )
+
+    @classmethod
+    def metrics_only(cls) -> "Observability":
+        """Metrics and eviction attribution without event tracing."""
+        return cls(metrics=MetricsRegistry(), evictions=EvictionAttribution())
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The null bundle — attaching it must cost (near) nothing."""
+        return cls()

@@ -1,0 +1,88 @@
+"""Event taxonomy for the observability layer.
+
+Every structured event emitted along the translation path has a *kind*
+drawn from the constants below.  Kind strings are ``structure.action``:
+the structure prefix selects the Perfetto track the event lands on (one
+track per structure, with one row per SID inside it — see
+:mod:`repro.obs.export`), and the action names the lifecycle step.
+
+The taxonomy mirrors the paper's Figure 3 walk through the hardware:
+
+* **packet** — link-level admission: a packet is admitted into the device,
+  dropped because the Pending Translation Buffer is full, or retried at a
+  later arrival slot.
+* **request** — one gIOVA translation from issue to completion (emitted as
+  a span carrying the full translation latency).
+* **devtlb / prefetch_buffer / iotlb** — per-lookup hit/miss outcomes of
+  the final-translation caches.
+* **ptb** — Pending Translation Buffer entry lifecycle (enqueue carries
+  the queueing delay behind a full buffer; release marks completion).
+* **walker** — bounded IOMMU walker-pool usage: acquire (with queue
+  delay), the walk itself (a span carrying DRAM access and nested-TLB
+  outcome counts), and release.
+* **prefetch** — the Translation Prefetching Scheme: a SID prediction, the
+  prefetches issued for it, their installs back at the device, and demand
+  translations supplied by a prefetched entry.
+"""
+
+from __future__ import annotations
+
+# Packet admission -----------------------------------------------------
+PACKET_ADMIT = "packet.admit"
+PACKET_DROP = "packet.drop"
+
+# Request lifecycle ----------------------------------------------------
+REQUEST_TRANSLATE = "request.translate"
+
+# Device-side lookup structures ---------------------------------------
+DEVTLB_HIT = "devtlb.hit"
+DEVTLB_MISS = "devtlb.miss"
+PB_HIT = "prefetch_buffer.hit"
+
+# Pending Translation Buffer ------------------------------------------
+PTB_ENQUEUE = "ptb.enqueue"
+PTB_RELEASE = "ptb.release"
+
+# Chipset structures ---------------------------------------------------
+IOTLB_HIT = "iotlb.hit"
+IOTLB_MISS = "iotlb.miss"
+
+# Bounded IOMMU walker pool -------------------------------------------
+WALKER_ACQUIRE = "walker.acquire"
+WALKER_WALK = "walker.walk"
+WALKER_RELEASE = "walker.release"
+
+# Translation Prefetching Scheme --------------------------------------
+PREFETCH_PREDICT = "prefetch.predict"
+PREFETCH_ISSUE = "prefetch.issue"
+PREFETCH_INSTALL = "prefetch.install"
+PREFETCH_SUPPLY = "prefetch.supply"
+
+#: Every kind the simulator may emit (exporters and tests validate
+#: against this set).
+ALL_EVENT_KINDS = frozenset(
+    {
+        PACKET_ADMIT,
+        PACKET_DROP,
+        REQUEST_TRANSLATE,
+        DEVTLB_HIT,
+        DEVTLB_MISS,
+        PB_HIT,
+        PTB_ENQUEUE,
+        PTB_RELEASE,
+        IOTLB_HIT,
+        IOTLB_MISS,
+        WALKER_ACQUIRE,
+        WALKER_WALK,
+        WALKER_RELEASE,
+        PREFETCH_PREDICT,
+        PREFETCH_ISSUE,
+        PREFETCH_INSTALL,
+        PREFETCH_SUPPLY,
+    }
+)
+
+
+def structure_of(kind: str) -> str:
+    """The structure prefix of an event kind (``"devtlb.hit"`` -> ``"devtlb"``)."""
+    return kind.split(".", 1)[0]

@@ -196,8 +196,11 @@ class ExperimentRunner:
             duration = payload.get("duration_s", fallback_duration)
             pid = payload.get("pid")
             trace_cache = payload.get("trace_cache")
+            metrics = payload.get("metrics")
         else:
-            result, duration, pid, trace_cache = payload, fallback_duration, None, None
+            result, duration, pid, trace_cache, metrics = (
+                payload, fallback_duration, None, None, None
+            )
         return JobResult(
             spec_hash=spec.spec_hash,
             status="ok",
@@ -207,6 +210,7 @@ class ExperimentRunner:
             duration_s=duration,
             worker_pid=pid,
             trace_cache=trace_cache,
+            metrics=metrics,
         )
 
     def _failed_result(

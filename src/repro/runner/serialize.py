@@ -4,8 +4,9 @@
 dataclasses, so serialising is ``dataclasses.asdict``; deserialising
 rebuilds each component explicitly so that schema drift fails loudly
 instead of resurrecting half-filled records.  The only JSON wrinkle is
-that ``PacketStats.per_tenant_processed`` is keyed by integer SID, which
-JSON stringifies — keys are converted back on load.
+that integer-keyed dicts (``PacketStats.per_tenant_processed``, the
+latency histogram's buckets) are stringified by JSON — keys are converted
+back on load.
 
 Round-tripping is exact: ``json`` serialises floats via ``repr``, which
 Python guarantees to round-trip, so a restored result compares equal
@@ -37,6 +38,12 @@ def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
         int(sid): count
         for sid, count in (packets_raw.get("per_tenant_processed") or {}).items()
     }
+    latency_raw = dict(raw["latency"])
+    latency_raw["buckets"] = {
+        int(bucket): count
+        for bucket, count in (latency_raw.get("buckets") or {}).items()
+    }
+    latency_raw.setdefault("min_ns", 0.0)
     return SimulationResult(
         config_name=raw["config_name"],
         benchmark=raw["benchmark"],
@@ -46,7 +53,7 @@ def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
         elapsed_ns=raw["elapsed_ns"],
         achieved_bandwidth_gbps=raw["achieved_bandwidth_gbps"],
         packets=PacketStats(**packets_raw),
-        latency=RequestLatencyStats(**raw["latency"]),
+        latency=RequestLatencyStats(**latency_raw),
         ptb=PtbStats(**raw["ptb"]),
         dram=DramStats(**raw["dram"]),
         cache_stats={
@@ -57,6 +64,7 @@ def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
         prefetch_requests=raw.get("prefetch_requests", 0),
         prefetch_supplied=raw.get("prefetch_supplied", 0),
         invalidation_messages=raw.get("invalidation_messages", 0),
+        percentiles=raw.get("percentiles") or {},
     )
 
 

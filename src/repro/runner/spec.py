@@ -135,8 +135,11 @@ class JobResult:
     ``result`` holds the :class:`~repro.core.results.SimulationResult`
     serialised via :mod:`repro.runner.serialize`; ``trace_cache`` holds the
     worker's cumulative per-process trace-cache counters at completion
-    time.  ``cached`` is a per-invocation flag (never persisted): it marks
-    results answered from the store without executing anything.
+    time; ``metrics`` holds the compact per-job observability summary
+    (latency percentiles, drop rate — see
+    :func:`repro.runner.worker.job_metrics_summary`) that the run manifest
+    aggregates.  ``cached`` is a per-invocation flag (never persisted): it
+    marks results answered from the store without executing anything.
     """
 
     spec_hash: str
@@ -148,6 +151,7 @@ class JobResult:
     duration_s: float = 0.0
     worker_pid: Optional[int] = None
     trace_cache: Optional[Dict[str, int]] = None
+    metrics: Optional[Dict[str, Any]] = None
     cached: bool = False
 
     @property
@@ -165,6 +169,7 @@ class JobResult:
             "duration_s": self.duration_s,
             "worker_pid": self.worker_pid,
             "trace_cache": self.trace_cache,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -179,4 +184,5 @@ class JobResult:
             duration_s=raw.get("duration_s", 0.0),
             worker_pid=raw.get("worker_pid"),
             trace_cache=raw.get("trace_cache"),
+            metrics=raw.get("metrics"),
         )

@@ -141,6 +141,36 @@ class ResultStore:
     def iter_completed(self) -> Iterator[JobResult]:
         return iter(self._completed.values())
 
+    def metrics_summary(self) -> Dict[str, Any]:
+        """Aggregate the per-job metric blocks across completed jobs.
+
+        Worst-case numbers use max (one pathological point should not be
+        averaged away); rates are means across jobs.  Jobs recorded before
+        the metrics block existed are simply not counted.
+        """
+        blocks = [
+            record.metrics
+            for record in self._completed.values()
+            if record.metrics
+        ]
+        if not blocks:
+            return {"jobs_with_metrics": 0}
+        p99s = [
+            block["latency"].get("p99_ns", 0.0)
+            for block in blocks
+            if block.get("latency")
+        ]
+        drop_rates = [block.get("drop_rate", 0.0) for block in blocks]
+        utilizations = [block.get("link_utilization", 0.0) for block in blocks]
+        return {
+            "jobs_with_metrics": len(blocks),
+            "worst_p99_ns": max(p99s) if p99s else 0.0,
+            "worst_drop_rate": max(drop_rates),
+            "mean_drop_rate": sum(drop_rates) / len(drop_rates),
+            "mean_link_utilization": sum(utilizations) / len(utilizations),
+            "min_link_utilization": min(utilizations),
+        }
+
     # ------------------------------------------------------------------
     def read_manifest(self) -> Dict[str, Any]:
         try:

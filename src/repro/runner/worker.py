@@ -38,6 +38,29 @@ def pool_initializer(trace_cache_capacity: int = DEFAULT_WORKER_TRACE_CAPACITY) 
     sweeps.set_trace_cache_capacity(trace_cache_capacity)
 
 
+def job_metrics_summary(result) -> Dict[str, Any]:
+    """Compact per-job metric block for the runner's manifest.
+
+    Carries the headline health numbers of one sweep point — latency
+    percentiles, drop rate, DevTLB hit rate — so a run directory answers
+    "did tail latency regress?" without deserialising every full result.
+    """
+    packets = result.packets
+    arrived = packets.arrived or 1
+    devtlb = result.cache_stats.get("devtlb")
+    return {
+        "latency": {
+            "mean_ns": result.latency.mean_ns,
+            "min_ns": result.latency.min_ns,
+            "max_ns": result.latency.max_ns,
+            **result.percentiles,
+        },
+        "drop_rate": packets.dropped / arrived,
+        "devtlb_hit_rate": devtlb.hit_rate if devtlb is not None else 0.0,
+        "link_utilization": result.link_utilization,
+    }
+
+
 def execute_job(spec: JobSpec) -> Dict[str, Any]:
     """Run one sweep point and return its payload (the default job fn)."""
     start = time.perf_counter()
@@ -57,4 +80,5 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         "duration_s": time.perf_counter() - start,
         "pid": os.getpid(),
         "trace_cache": sweeps.trace_cache_stats().as_dict(),
+        "metrics": job_metrics_summary(point.result),
     }

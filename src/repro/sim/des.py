@@ -124,7 +124,7 @@ class EventDrivenSimulator(HyperSimulator):
             event = queue.pop()
             if event.kind is EventKind.PREFETCH_INSTALL:
                 sid, page, hpa, page_shift = event.payload
-                self._apply_install(sid, page, hpa, page_shift)
+                self._apply_install(event.time, sid, page, hpa, page_shift)
                 continue
             self._dispatch_arrival(
                 queue, event.time, event.payload, packets, wire_time,

@@ -26,9 +26,14 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ArchConfig
-from repro.core.hypertrio import TranslationPath, build_translation_path
+from repro.core.hypertrio import (
+    TranslationPath,
+    attach_observability,
+    build_translation_path,
+)
 from repro.core.results import RequestLatencyStats, SimulationResult
 from repro.device.packet import PacketStats
+from repro.obs import events as ev
 from repro.sim.oracle import FutureOracle, oracle_for_trace
 from repro.sim.resources import ResourcePool, UnboundedPool
 from repro.trace.constructor import HyperTrace
@@ -47,6 +52,12 @@ class HyperSimulator:
     native:
         Model a non-virtualised host interface: no address translation at
         all (used by the Figure 5 case study's "host" series).
+    observability:
+        Optional :class:`~repro.obs.Observability` bundle.  Its
+        ``enabled`` flag is checked **once here**: when disabled (or
+        ``None``) the per-request hot path contains no tracing or metrics
+        calls at all, so the overhead is a handful of attribute loads
+        (guarded by ``benchmarks/bench_obs_overhead.py``).
     """
 
     def __init__(
@@ -55,11 +66,25 @@ class HyperSimulator:
         trace: HyperTrace,
         native: bool = False,
         telemetry=None,
+        observability=None,
     ):
         self.config = config
         self.trace = trace
         self.native = native
         self.telemetry = telemetry
+        self.observability = observability
+        # Null-object fast path: resolve the three observability layers to
+        # attribute-level Nones exactly once, at attach time.
+        obs_on = observability is not None and observability.enabled
+        tracer = observability.tracer if obs_on else None
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._metrics = observability.metrics if obs_on else None
+        self._trace_packet = False
+        if self._metrics is not None:
+            # Local instrument caches so the hot path skips the registry's
+            # (name, labels) key construction per event.
+            self._sid_latency: Dict[int, object] = {}
+            self._sid_counters: Dict[Tuple[str, int], object] = {}
         self._oracle: Optional[FutureOracle] = None
         next_use = None
         if config.devtlb.policy.lower() == "oracle":
@@ -71,6 +96,8 @@ class HyperSimulator:
             sids=trace.system.sids(),
             devtlb_next_use=next_use,
         )
+        if obs_on:
+            attach_observability(self.path, observability)
         if config.iommu_walkers is None:
             self._walker_pool = UnboundedPool()
         else:
@@ -118,6 +145,7 @@ class HyperSimulator:
         measure_from_ns = 0.0
         measure_from_bytes = 0
         processed = 0
+        tracer = self._tracer
         for packet in packets:
             # Per-packet wire time: small packets (e.g. key-value traffic)
             # arrive faster than full frames.
@@ -127,6 +155,8 @@ class HyperSimulator:
                 wire_ns = packet.size_bytes * 8 / bits_per_ns
             arrival = clock + wire_ns
             self.packet_stats.arrived += 1
+            if tracer is not None:
+                self._trace_packet = tracer.sample_packet()
             if self.native:
                 # No translation: the packet is processed at line rate.
                 self.packet_stats.accepted += 1
@@ -139,8 +169,15 @@ class HyperSimulator:
                     measure_from_bytes = self.packet_stats.bytes_processed
                 continue
 
-            arrival = self._admit(arrival, wire_ns, ptb)
+            arrival = self._admit(arrival, wire_ns, ptb, packet.sid)
             self.packet_stats.accepted += 1
+            if self._trace_packet:
+                tracer.emit(
+                    ev.PACKET_ADMIT,
+                    arrival,
+                    packet.sid,
+                    size_bytes=packet.size_bytes,
+                )
             if packet.invalidations:
                 self._invalidate_pages(packet.sid, packet.invalidations)
             self._drain_prefetch_installs(arrival)
@@ -164,6 +201,10 @@ class HyperSimulator:
         # cache-state accounting matches the event-driven engine.
         self._drain_prefetch_installs(float("inf"))
         elapsed = max(last_completion, clock)
+        if self.telemetry is not None:
+            # Flush the trailing partial window so tail packets are not
+            # silently excluded from the windowed series.
+            self.telemetry.finish(elapsed)
         return self._build_result(
             elapsed,
             measure_from_ns=measure_from_ns,
@@ -171,7 +212,7 @@ class HyperSimulator:
         )
 
     # ------------------------------------------------------------------
-    def _admit(self, arrival: float, interarrival: float, ptb) -> float:
+    def _admit(self, arrival: float, interarrival: float, ptb, sid: int = -1) -> float:
         """Drop-and-retry until a PTB entry is free at an arrival slot.
 
         Dropped packets are retried at the next slot (Section IV-C), so the
@@ -182,6 +223,13 @@ class HyperSimulator:
             ptb.reject_packet()
             self.packet_stats.dropped += 1
             self.packet_stats.retried += 1
+            if self._trace_packet:
+                self._tracer.emit(
+                    ev.PACKET_DROP,
+                    arrival,
+                    sid,
+                    occupancy=ptb.occupancy(arrival),
+                )
             free_at = ptb.earliest_free_time(arrival)
             slots = max(1, math.ceil((free_at - arrival) / interarrival))
             arrival += slots * interarrival
@@ -194,6 +242,7 @@ class HyperSimulator:
         path = self.path
         page = giova >> 12
         key = (sid, page)
+        tracer = self._tracer if self._trace_packet else None
 
         if self._oracle is not None:
             self._oracle.consume(key)
@@ -203,27 +252,96 @@ class HyperSimulator:
         latency = timing.iotlb_hit_ns  # DevTLB lookup itself
         cached = path.devtlb.lookup(key)
         hit = cached is not None
+        if tracer is not None:
+            tracer.emit(ev.DEVTLB_HIT if hit else ev.DEVTLB_MISS, now, sid, page=page)
         if hit and cached[2]:
             # First demand hit on a prefetched entry: credit the prefetcher
             # and clear the provenance flag.
             path.prefetch_unit.stats.supplied_translations += 1
             path.devtlb.insert(key, (cached[0], cached[1], False))
+            if tracer is not None:
+                tracer.emit(ev.PREFETCH_SUPPLY, now, sid, page=page, via="devtlb")
         if not hit and path.prefetch_unit is not None:
             if path.prefetch_unit.lookup(sid, page) is not None:
                 hit = True
                 path.prefetch_unit.stats.supplied_translations += 1
+                if tracer is not None:
+                    tracer.emit(ev.PB_HIT, now, sid, page=page)
+                    tracer.emit(
+                        ev.PREFETCH_SUPPLY, now, sid, page=page, via="prefetch_buffer"
+                    )
         if not hit:
             # Miss: cross PCIe, translate at the chipset, cross back.
             outcome = path.iommu.translate(sid, giova)
-            _, served = self._walker_pool.acquire(
-                now + timing.pcie_one_way_ns, outcome.latency_ns
+            at_chipset = now + timing.pcie_one_way_ns
+            start, served = self._walker_pool.acquire(
+                at_chipset, outcome.latency_ns
             )
-            chipset_time = served - (now + timing.pcie_one_way_ns)
+            chipset_time = served - at_chipset
             latency += 2 * timing.pcie_one_way_ns + chipset_time
             path.devtlb.insert(key, (outcome.hpa, outcome.page_shift, False))
+            if tracer is not None:
+                self._emit_chipset_events(
+                    tracer, sid, page, at_chipset, start, served, outcome
+                )
         completion = path.ptb.issue(now, latency)
         self.latency_stats.record(latency)
+        if tracer is not None:
+            tracer.emit(
+                ev.PTB_ENQUEUE, now, sid, wait_ns=max(0.0, completion - latency - now)
+            )
+            tracer.emit(ev.PTB_RELEASE, completion, sid)
+            tracer.emit(
+                ev.REQUEST_TRANSLATE,
+                now,
+                sid,
+                dur_ns=completion - now,
+                page=page,
+                hit=hit,
+            )
+        if self._metrics is not None:
+            self._record_request_metrics(sid, latency, hit)
         return completion
+
+    # ------------------------------------------------------------------
+    def _emit_chipset_events(
+        self, tracer, sid: int, page: int, at_chipset: float, start: float,
+        served: float, outcome,
+    ) -> None:
+        """Trace the chipset side of one DevTLB miss (IOTLB, walker pool)."""
+        if outcome.iotlb_hit:
+            tracer.emit(ev.IOTLB_HIT, at_chipset, sid, page=page)
+            return
+        tracer.emit(ev.IOTLB_MISS, at_chipset, sid, page=page)
+        tracer.emit(
+            ev.WALKER_ACQUIRE, at_chipset, sid, queue_delay_ns=start - at_chipset
+        )
+        tracer.emit(
+            ev.WALKER_WALK,
+            start,
+            sid,
+            dur_ns=served - start,
+            memory_accesses=outcome.memory_accesses,
+            nested_hits=outcome.nested_hits,
+            nested_misses=outcome.nested_misses,
+        )
+        tracer.emit(ev.WALKER_RELEASE, served, sid)
+
+    def _record_request_metrics(self, sid: int, latency: float, hit: bool) -> None:
+        """Per-SID metric updates for one translation (metrics layer on)."""
+        histogram = self._sid_latency.get(sid)
+        if histogram is None:
+            histogram = self._metrics.histogram("translation_latency_ns", sid=sid)
+            self._sid_latency[sid] = histogram
+        histogram.record(latency)
+        counter_key = ("devtlb.hit" if hit else "devtlb.miss", sid)
+        counter = self._sid_counters.get(counter_key)
+        if counter is None:
+            counter = self._metrics.counter(
+                counter_key[0], structure="devtlb", sid=sid
+            )
+            self._sid_counters[counter_key] = counter
+        counter.inc()
 
     # ------------------------------------------------------------------
     def _sample_telemetry(self, now: float, packet) -> None:
@@ -275,6 +393,9 @@ class HyperSimulator:
         if predicted is None or predicted == self._last_predicted_sid:
             return
         self._last_predicted_sid = predicted
+        tracer = self._tracer if self._trace_packet else None
+        if tracer is not None:
+            tracer.emit(ev.PREFETCH_PREDICT, now, sid, predicted_sid=predicted)
         pages = history.most_recent(predicted)[: self.config.prefetch.pages_per_tenant]
         if not pages:
             return
@@ -298,11 +419,18 @@ class HyperSimulator:
             )
             self._inflight_prefetches.add((predicted, page))
             issued += 1
+            if tracer is not None:
+                tracer.emit(
+                    ev.PREFETCH_ISSUE, now, predicted,
+                    page=page, install_at_ns=install_time,
+                )
         if issued:
             self._pending_installs.sort(key=lambda item: item[0])
             pu.note_prefetch_issued(issued)
 
-    def _apply_install(self, sid: int, page: int, hpa: int, page_shift: int) -> None:
+    def _apply_install(
+        self, install_time: float, sid: int, page: int, hpa: int, page_shift: int
+    ) -> None:
         """Apply one completed prefetch at the device.
 
         The translation enters the Prefetch Buffer and the (partitioned)
@@ -315,6 +443,8 @@ class HyperSimulator:
             (sid, page), (hpa, page_shift, True), priority=1, pinned=True
         )
         self._inflight_prefetches.discard((sid, page))
+        if self._trace_packet:
+            self._tracer.emit(ev.PREFETCH_INSTALL, install_time, sid, page=page)
 
     def _drain_prefetch_installs(self, now: float) -> None:
         """Install completed prefetches into the PB and the DevTLB."""
@@ -324,8 +454,8 @@ class HyperSimulator:
         pending = self._pending_installs
         index = 0
         while index < len(pending) and pending[index][0] <= now:
-            _, sid, page, hpa, page_shift = pending[index]
-            self._apply_install(sid, page, hpa, page_shift)
+            install_time, sid, page, hpa, page_shift = pending[index]
+            self._apply_install(install_time, sid, page, hpa, page_shift)
             index += 1
         if index:
             del pending[:index]
@@ -358,6 +488,13 @@ class HyperSimulator:
             prefetch_requests = path.prefetch_unit.stats.prefetch_requests
             prefetch_supplied = path.prefetch_unit.stats.supplied_translations
         benchmark = self._benchmark_name()
+        percentiles = {}
+        if self.latency_stats.count:
+            percentiles = {
+                "p50_ns": self.latency_stats.percentile(50),
+                "p95_ns": self.latency_stats.percentile(95),
+                "p99_ns": self.latency_stats.percentile(99),
+            }
         return SimulationResult(
             config_name=self.config.name,
             benchmark=benchmark,
@@ -375,6 +512,7 @@ class HyperSimulator:
             prefetch_requests=prefetch_requests,
             prefetch_supplied=prefetch_supplied,
             invalidation_messages=self.invalidation_messages,
+            percentiles=percentiles,
         )
 
     def _benchmark_name(self) -> str:

@@ -81,6 +81,14 @@ class Telemetry:
         self._supplied0 = 0
         self._requests0 = 0
         self._drops0 = 0
+        # Latest cumulative values seen, so finish() can close a partial
+        # window without another simulator callback.
+        self._last_now_ns = 0.0
+        self._last_devtlb_hits = 0
+        self._last_devtlb_accesses = 0
+        self._last_supplied = 0
+        self._last_requests = 0
+        self._last_drops = 0
 
     def _reset_window(self, start_ns: float, index: int) -> None:
         self._index = index
@@ -104,29 +112,74 @@ class Telemetry:
         self._packets += 1
         self._bytes += size_bytes
         self._occupancy_sum += ptb_occupancy
+        self._last_now_ns = now_ns
+        self._last_devtlb_hits = devtlb_stats.hits
+        self._last_devtlb_accesses = devtlb_stats.accesses
+        self._last_supplied = supplied
+        self._last_requests = requests
+        self._last_drops = drops
         if self._packets < self.window_packets:
             return
+        self._close_window(
+            end_ns=now_ns,
+            devtlb_hits=devtlb_stats.hits,
+            devtlb_accesses=devtlb_stats.accesses,
+            supplied=supplied,
+            requests=requests,
+            drops=drops,
+        )
+
+    def _close_window(
+        self,
+        end_ns: float,
+        devtlb_hits: int,
+        devtlb_accesses: int,
+        supplied: int,
+        requests: int,
+        drops: int,
+    ) -> None:
         self.windows.append(
             WindowSample(
                 index=self._index,
                 start_ns=self._start_ns,
-                end_ns=now_ns,
+                end_ns=end_ns,
                 packets=self._packets,
                 bytes=self._bytes,
                 drops=drops - self._drops0,
-                devtlb_hits=devtlb_stats.hits - self._devtlb_hits0,
-                devtlb_accesses=devtlb_stats.accesses - self._devtlb_accesses0,
+                devtlb_hits=devtlb_hits - self._devtlb_hits0,
+                devtlb_accesses=devtlb_accesses - self._devtlb_accesses0,
                 prefetch_supplied=supplied - self._supplied0,
                 requests=requests - self._requests0,
                 mean_ptb_occupancy=self._occupancy_sum / self._packets,
             )
         )
-        self._devtlb_hits0 = devtlb_stats.hits
-        self._devtlb_accesses0 = devtlb_stats.accesses
+        self._devtlb_hits0 = devtlb_hits
+        self._devtlb_accesses0 = devtlb_accesses
         self._supplied0 = supplied
         self._requests0 = requests
         self._drops0 = drops
-        self._reset_window(start_ns=now_ns, index=self._index + 1)
+        self._reset_window(start_ns=end_ns, index=self._index + 1)
+
+    def finish(self, now_ns: Optional[float] = None) -> None:
+        """Flush the trailing partial window, if any.
+
+        Called by :meth:`HyperSimulator.run` at the end of a run so tail
+        packets are not silently excluded from :attr:`windows` (and hence
+        from :meth:`steady_state_window`).  A run whose length divides
+        evenly into windows — or an empty run — flushes nothing.  Safe to
+        call more than once.
+        """
+        if self._packets == 0:
+            return
+        end_ns = now_ns if now_ns is not None else self._last_now_ns
+        self._close_window(
+            end_ns=max(end_ns, self._last_now_ns, self._start_ns),
+            devtlb_hits=self._last_devtlb_hits,
+            devtlb_accesses=self._last_devtlb_accesses,
+            supplied=self._last_supplied,
+            requests=self._last_requests,
+            drops=self._last_drops,
+        )
 
     # ------------------------------------------------------------------
     def series(self, attribute: str) -> List[float]:
@@ -134,5 +187,15 @@ class Telemetry:
         return [getattr(window, attribute) for window in self.windows]
 
     def steady_state_window(self) -> Optional[WindowSample]:
-        """The last full window (a steady-state sample), if any."""
-        return self.windows[-1] if self.windows else None
+        """The last *full* window (a steady-state sample), if any.
+
+        A trailing partial window flushed by :meth:`finish` is not a fair
+        steady-state sample (it covers fewer packets), so it is skipped
+        unless no full window exists at all.
+        """
+        if not self.windows:
+            return None
+        for window in reversed(self.windows):
+            if window.packets >= self.window_packets:
+                return window
+        return self.windows[-1]

@@ -144,6 +144,95 @@ class TestCommands:
         assert calls and all(cap == SMOKE.max_packets for cap in calls)
 
 
+class TestObservabilityFlags:
+    def test_simulate_trace_flags_default_off(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+        assert args.trace_sample == 1.0
+
+    def test_simulate_parses_trace_and_metrics_out(self):
+        args = build_parser().parse_args([
+            "simulate", "--trace-out", "t.json",
+            "--metrics-out", "m.json", "--trace-sample", "0.25",
+        ])
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+        assert args.trace_sample == 0.25
+
+    def test_sweep_parses_metrics_out(self):
+        args = build_parser().parse_args(["sweep", "--metrics-out", "s.json"])
+        assert args.metrics_out == "s.json"
+
+    def test_report_metrics_parses(self):
+        args = build_parser().parse_args([
+            "report-metrics", "m.json", "--chart", "--top", "5",
+        ])
+        assert args.metrics_file == "m.json" and args.chart and args.top == 5
+
+    def test_report_metrics_requires_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report-metrics"])
+
+    def test_simulate_exports_then_report_renders(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "run.metrics.json"
+        code = main([
+            "simulate", "--benchmark", "iperf3", "--tenants", "4",
+            "--config", "base", "--packets", "600",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace:" in output and "metrics:" in output
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["displayTimeUnit"] == "ns"
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+        document = json.loads(metrics_path.read_text())
+        assert document["schema"].startswith("repro-obs-metrics/")
+        assert document["per_sid_latency"]  # one entry per active tenant
+
+        assert main(["report-metrics", str(metrics_path), "--chart"]) == 0
+        report = capsys.readouterr().out
+        assert "translation latency percentiles by SID" in report
+        assert "p99" in report
+
+    def test_report_metrics_rejects_non_metrics_file(self, capsys, tmp_path):
+        bogus = tmp_path / "other.json"
+        bogus.write_text('{"schema": "something-else/1"}')
+        assert main(["report-metrics", str(bogus)]) == 2
+        assert "not a repro-obs metrics file" in capsys.readouterr().err
+
+    def test_report_metrics_missing_file(self, capsys, tmp_path):
+        assert main(["report-metrics", str(tmp_path / "nope.json")]) == 2
+        assert "no such metrics file" in capsys.readouterr().err
+
+    def test_sweep_metrics_out_writes_per_point_latency(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        metrics_path = tmp_path / "sweep.metrics.json"
+        code = main([
+            "sweep", "--benchmark", "iperf3", "--tenants", "2",
+            "--packets", "400", "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        document = json.loads(metrics_path.read_text())
+        assert document["schema"].startswith("repro-obs-sweep/")
+        assert document["points"]
+        for point in document["points"]:
+            latency = point["latency"]
+            assert latency["count"] > 0
+            assert latency["p50_ns"] <= latency["p95_ns"] <= latency["p99_ns"]
+
+
 class TestRunCommand:
     def test_unknown_experiment(self, capsys, tmp_path):
         code = main([

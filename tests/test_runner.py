@@ -302,6 +302,37 @@ class TestParallelEquivalence:
             json.loads(json.dumps(result_to_dict(result)))
         )
         assert restored == result
+        # The observability-era fields survive the trip with int bucket keys.
+        assert restored.latency.buckets == result.latency.buckets
+        assert all(isinstance(k, int) for k in restored.latency.buckets)
+        assert restored.latency.min_ns == result.latency.min_ns
+        assert restored.percentiles == result.percentiles
+        assert restored.percentiles["p50_ns"] <= restored.percentiles["p99_ns"]
+
+    def test_deserializes_records_predating_latency_histograms(
+        self, restore_trace_cache
+    ):
+        """Stored results from before buckets/min_ns/percentiles load fine."""
+        from repro.analysis.sweeps import run_point
+
+        scale = RunScale(
+            name="test", tenant_counts=(2,), interleavings=("RR1",),
+            benchmarks=("mediastream",), max_packets=400,
+        )
+        result = run_point(
+            hypertrio_config(), "mediastream", 2, "RR1", scale
+        ).result
+        raw = json.loads(json.dumps(result_to_dict(result)))
+        del raw["latency"]["buckets"]
+        del raw["latency"]["min_ns"]
+        del raw["percentiles"]
+        restored = result_from_dict(raw)
+        assert restored.latency.count == result.latency.count
+        assert restored.latency.mean_ns == result.latency.mean_ns
+        assert restored.latency.buckets == {}
+        assert restored.latency.min_ns == 0.0
+        assert restored.percentiles == {}
+        assert restored.latency.percentile(99) == 0.0  # no histogram: defined
 
     def test_experiment_driver_matches_sequential(
         self, tmp_path, restore_trace_cache

@@ -110,3 +110,80 @@ class TestTelemetryIntegration:
         assert ends == sorted(ends)
         for window in telemetry.windows:
             assert window.end_ns >= window.start_ns
+
+
+class TestTelemetryEdgeCases:
+    def _packet(self, telemetry, now_ns, stats):
+        telemetry.on_packet(now_ns, 1000, stats, 0, 0, 0, 0)
+
+    def test_trailing_partial_window_flushed_by_finish(self):
+        telemetry = Telemetry(window_packets=4)
+        stats = CacheStats()
+        for step in range(6):  # one full window + 2 trailing packets
+            self._packet(telemetry, (step + 1) * 100.0, stats)
+        assert len(telemetry.windows) == 1
+        telemetry.finish(now_ns=700.0)
+        assert len(telemetry.windows) == 2
+        tail = telemetry.windows[-1]
+        assert tail.packets == 2
+        assert tail.end_ns == 700.0
+
+    def test_finish_noop_on_window_boundary(self):
+        telemetry = Telemetry(window_packets=2)
+        stats = CacheStats()
+        for step in range(4):  # exactly two full windows
+            self._packet(telemetry, (step + 1) * 100.0, stats)
+        telemetry.finish()
+        assert len(telemetry.windows) == 2
+
+    def test_finish_on_empty_run(self):
+        telemetry = Telemetry()
+        telemetry.finish()
+        assert telemetry.windows == []
+        assert telemetry.steady_state_window() is None
+
+    def test_finish_idempotent(self):
+        telemetry = Telemetry(window_packets=4)
+        self._packet(telemetry, 100.0, CacheStats())
+        telemetry.finish(now_ns=150.0)
+        telemetry.finish(now_ns=150.0)
+        assert len(telemetry.windows) == 1
+
+    def test_window_packets_one(self):
+        telemetry = Telemetry(window_packets=1)
+        stats = CacheStats()
+        for step in range(3):
+            self._packet(telemetry, (step + 1) * 100.0, stats)
+        telemetry.finish()
+        assert len(telemetry.windows) == 3
+        assert all(window.packets == 1 for window in telemetry.windows)
+
+    def test_steady_state_skips_trailing_partial(self):
+        telemetry = Telemetry(window_packets=4)
+        stats = CacheStats()
+        for step in range(5):
+            self._packet(telemetry, (step + 1) * 100.0, stats)
+        telemetry.finish(now_ns=600.0)
+        steady = telemetry.steady_state_window()
+        assert steady is telemetry.windows[0]
+        assert steady.packets == 4
+
+    def test_steady_state_falls_back_to_only_partial(self):
+        telemetry = Telemetry(window_packets=100)
+        self._packet(telemetry, 100.0, CacheStats())
+        telemetry.finish()
+        steady = telemetry.steady_state_window()
+        assert steady is telemetry.windows[0]
+        assert steady.packets == 1
+
+    def test_simulator_flushes_tail_window(self):
+        """An end-to-end run whose length does not divide into windows
+        still accounts for every accepted packet."""
+        trace = construct_trace(
+            MEDIASTREAM, num_tenants=8, packets_per_tenant=200_000,
+            max_packets=1100,
+        )
+        telemetry = Telemetry(window_packets=500)
+        HyperSimulator(base_config(), trace, telemetry=telemetry).run()
+        assert sum(w.packets for w in telemetry.windows) == 1100
+        assert telemetry.windows[-1].packets == 100
