@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate the ``devices=1`` golden regression file.
+
+Run this ONLY against a commit whose single-device results are known-good
+(the file pinned in the repository was produced by the pre-fabric-refactor
+engine).  Usage::
+
+    PYTHONPATH=src:tests python scripts/generate_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from golden_common import GOLDEN_PATH, compute_all_golden_points  # noqa: E402
+
+
+def main() -> int:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": "repro-golden-devices1/1",
+        "points": compute_all_golden_points(),
+    }
+    GOLDEN_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

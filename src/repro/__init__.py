@@ -24,6 +24,7 @@ Subpackages:
 
 from repro.core.config import (
     ArchConfig,
+    DeviceConfig,
     PrefetchConfig,
     TimingParams,
     TlbConfig,
@@ -50,6 +51,7 @@ __all__ = [
     "TlbConfig",
     "TimingParams",
     "PrefetchConfig",
+    "DeviceConfig",
     "base_config",
     "hypertrio_config",
     "case_study_timing",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.device_scaling import device_scaling
 from repro.analysis.report import ExperimentTable
 from repro.analysis.scale import DEFAULT, RunScale
 from repro.analysis.sweeps import cached_trace, run_point
@@ -636,7 +637,10 @@ def figure12c(scale: Optional[RunScale] = None) -> ExperimentTable:
 
 
 #: Every driver, keyed by its paper anchor (benchmarks iterate this).
+#: ``device_scaling`` extends the paper with the multi-device fabric axis
+#: (see :mod:`repro.analysis.device_scaling`).
 ALL_EXPERIMENTS = {
+    "device_scaling": device_scaling,
     "table1": table1,
     "table2": table2,
     "table3": table3,

@@ -30,7 +30,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.analysis.scale import RunScale
 from repro.core.config import ArchConfig
 from repro.core.results import SimulationResult
-from repro.sim.simulator import HyperSimulator
+from repro.sim.simulator import simulate
 from repro.trace.constructor import HyperTrace, construct_trace
 from repro.trace.tenant import profile_by_name
 
@@ -201,8 +201,15 @@ def run_point(
     scale: RunScale,
     native: bool = False,
     seed: int = 0,
+    telemetry=None,
+    observability=None,
 ) -> SweepPoint:
-    """Simulate one sweep point at the given scale."""
+    """Simulate one sweep point at the given scale.
+
+    ``telemetry`` and ``observability`` are forwarded to the simulator
+    (points answered by an execution hook were simulated elsewhere and
+    ignore them).
+    """
     if _point_hook is not None:
         result = _point_hook(
             config=config,
@@ -223,8 +230,14 @@ def run_point(
             )
     trace = cached_trace(benchmark, num_tenants, interleaving, scale, seed=seed)
     warmup = scale.warmup_for(len(trace.packets))
-    simulator = HyperSimulator(config, trace, native=native)
-    result = simulator.run(warmup_packets=warmup)
+    result = simulate(
+        config,
+        trace,
+        native=native,
+        warmup_packets=warmup,
+        telemetry=telemetry,
+        observability=observability,
+    )
     return SweepPoint(
         config_name=config.name,
         benchmark=benchmark,

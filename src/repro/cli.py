@@ -29,7 +29,12 @@ from repro.analysis.ascii_plot import chart_from_columns
 from repro.analysis.experiments import ALL_EXPERIMENTS, run_driver
 from repro.analysis.scale import SCALE_ENV_VAR, RunScale, current_scale
 from repro.analysis.sweeps import run_point
-from repro.core.config import base_config, hypertrio_config
+from repro.core.config import (
+    SID_MAP_SCHEMES,
+    DeviceConfig,
+    base_config,
+    hypertrio_config,
+)
 from repro.sim.simulator import HyperSimulator
 from repro.trace.characterize import characterize_single_tenant
 from repro.trace.collector import collect_single_tenant
@@ -37,6 +42,40 @@ from repro.trace.constructor import construct_trace
 from repro.trace.tenant import BENCHMARKS, profile_by_name
 
 _CONFIGS = {"base": base_config, "hypertrio": hypertrio_config}
+
+
+def _parse_device_config(devices: int, sid_map: str) -> DeviceConfig:
+    """Parse ``--devices`` / ``--sid-map`` into a :class:`DeviceConfig`.
+
+    ``--sid-map`` accepts a scheme name (``round_robin``, ``hash``) or an
+    explicit pin list: ``explicit:0=1,5=0`` routes SID 0 to device 1 and
+    SID 5 to device 0 (unmapped SIDs fall back to round-robin).
+    """
+    if sid_map.startswith("explicit:") or sid_map == "explicit":
+        _, _, spec = sid_map.partition(":")
+        pairs = []
+        for item in filter(None, spec.split(",")):
+            sid_text, eq, device_text = item.partition("=")
+            if not eq:
+                raise argparse.ArgumentTypeError(
+                    f"explicit sid-map entries are SID=DEVICE, got {item!r}"
+                )
+            pairs.append((int(sid_text), int(device_text)))
+        try:
+            return DeviceConfig(
+                count=devices, sid_map="explicit", explicit_map=tuple(pairs)
+            )
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+    if sid_map not in SID_MAP_SCHEMES:
+        raise argparse.ArgumentTypeError(
+            f"--sid-map must be one of {SID_MAP_SCHEMES} or "
+            f"'explicit:SID=DEV,...', got {sid_map!r}"
+        )
+    try:
+        return DeviceConfig(count=devices, sid_map=sid_map)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _add_common_workload_args(
@@ -76,6 +115,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = load_config(args.config_file)
     else:
         config = _CONFIGS[args.config]()
+    if args.devices != 1 or args.sid_map != "round_robin":
+        config = config.with_overrides(
+            devices=_parse_device_config(args.devices, args.sid_map)
+        )
     observability = None
     if args.trace_out or args.metrics_out:
         from repro.obs import Observability
@@ -90,6 +133,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         warmup_packets=len(trace.packets) // 4
     )
     print(result.summary())
+    if result.device_results:
+        fabric = result.fabric
+        print(
+            f"  fabric: {fabric.num_devices} devices ({fabric.sid_map}), "
+            f"walker mean queue delay "
+            f"{fabric.walker_mean_queue_delay_ns:.1f} ns "
+            f"over {fabric.walker_jobs} walks"
+        )
+        for dev in result.device_results:
+            print(
+                f"  dev{dev.device_id}: "
+                f"{dev.achieved_bandwidth_gbps:7.1f} Gb/s, "
+                f"accepted {dev.packets.accepted}, "
+                f"drops {dev.packets.dropped}, "
+                f"devtlb hit {dev.cache_stats['devtlb'].hit_rate * 100:5.1f}%, "
+                f"iotlb hit {dev.iotlb_hit_rate * 100:5.1f}%"
+            )
     if args.trace_out:
         from repro.obs.export import write_trace
 
@@ -119,37 +179,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.packets is not None:
         scale = dataclasses.replace(scale, max_packets=args.packets)
     counts = [int(c) for c in args.tenants.split(",")]
-    columns = {"Base": [], "HyperTRIO": []}
+    device_counts = [int(c) for c in args.devices.split(",")]
+    columns = {}
     metric_points = []
     for count in counts:
         for name, factory in (("Base", base_config), ("HyperTRIO", hypertrio_config)):
-            point = run_point(
-                factory(), args.benchmark, count, args.interleaving, scale,
-                seed=args.seed,
-            )
-            columns[name].append(point.utilization_percent)
-            print(
-                f"{name:10s} {count:5d} tenants: "
-                f"{point.utilization_percent:5.1f}%"
-            )
-            if args.metrics_out:
-                result = point.result
-                metric_points.append(
-                    {
-                        "config": point.config_name,
-                        "num_tenants": count,
-                        "utilization_percent": point.utilization_percent,
-                        "achieved_bandwidth_gbps": result.achieved_bandwidth_gbps,
-                        "packets_dropped": result.packets.dropped,
-                        "latency": {
-                            "count": result.latency.count,
-                            "mean_ns": result.latency.mean_ns,
-                            "min_ns": result.latency.min_ns,
-                            "max_ns": result.latency.max_ns,
-                            **result.percentiles,
-                        },
-                    }
+            for num_devices in device_counts:
+                config = factory()
+                label = name
+                if len(device_counts) > 1 or num_devices != 1:
+                    label = f"{name} x{num_devices}dev"
+                if num_devices != 1:
+                    config = config.with_overrides(
+                        devices=_parse_device_config(num_devices, args.sid_map)
+                    )
+                point = run_point(
+                    config, args.benchmark, count, args.interleaving, scale,
+                    seed=args.seed,
                 )
+                columns.setdefault(label, []).append(point.utilization_percent)
+                print(
+                    f"{label:16s} {count:5d} tenants: "
+                    f"{point.utilization_percent:5.1f}%"
+                )
+                if args.metrics_out:
+                    result = point.result
+                    metric_points.append(
+                        {
+                            "config": point.config_name,
+                            "num_tenants": count,
+                            "num_devices": num_devices,
+                            "utilization_percent": point.utilization_percent,
+                            "achieved_bandwidth_gbps": (
+                                result.achieved_bandwidth_gbps
+                            ),
+                            "packets_dropped": result.packets.dropped,
+                            "latency": {
+                                "count": result.latency.count,
+                                "mean_ns": result.latency.mean_ns,
+                                "min_ns": result.latency.min_ns,
+                                "max_ns": result.latency.max_ns,
+                                **result.percentiles,
+                            },
+                        }
+                    )
     if args.metrics_out:
         import json
 
@@ -397,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="load an ArchConfig JSON file instead of a named preset "
              "(see repro.core.config_io)",
     )
+    simulate.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="device paths sharing the chipset (default: 1, the paper's "
+             "single device)",
+    )
+    simulate.add_argument(
+        "--sid-map", default="round_robin", metavar="SPEC",
+        help="SID->device routing: round_robin, hash, or "
+             "explicit:SID=DEV,... (default: round_robin)",
+    )
     simulate.add_argument("-v", "--verbose", action="store_true")
     simulate.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -420,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--tenants", default="4,16,64,256",
         help="comma-separated tenant counts (default: 4,16,64,256)",
+    )
+    sweep.add_argument(
+        "--devices", default="1", metavar="COUNTS",
+        help="comma-separated device counts to sweep alongside tenants "
+             "(default: 1)",
+    )
+    sweep.add_argument(
+        "--sid-map", default="round_robin", metavar="SPEC",
+        help="SID->device routing for multi-device points "
+             "(default: round_robin)",
     )
     sweep.add_argument("--chart", action="store_true", help="ASCII chart output")
     sweep.add_argument(

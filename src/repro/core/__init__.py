@@ -2,6 +2,7 @@
 
 from repro.core.config import (
     ArchConfig,
+    DeviceConfig,
     PrefetchConfig,
     TimingParams,
     TlbConfig,
@@ -9,6 +10,7 @@ from repro.core.config import (
     case_study_timing,
     hypertrio_config,
 )
+from repro.core.fabric import ChipsetPath, DevicePath, Fabric, build_fabric
 from repro.core.config_io import (
     ConfigFormatError,
     config_from_json,
@@ -39,6 +41,11 @@ __all__ = [
     "config_from_json",
     "save_config",
     "load_config",
+    "DeviceConfig",
+    "DevicePath",
+    "ChipsetPath",
+    "Fabric",
+    "build_fabric",
     "TranslationPath",
     "build_translation_path",
     "PendingTranslationBuffer",

@@ -11,7 +11,7 @@ single fields via :func:`dataclasses.replace`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -98,9 +98,74 @@ class PrefetchConfig:
     pages_per_tenant: int = 2
 
 
+#: SID -> device mapping schemes accepted by :class:`DeviceConfig`.
+SID_MAP_SCHEMES = ("round_robin", "hash", "explicit")
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """The I/O-fabric dimension: how many devices share the chipset.
+
+    A hyper-tenant host typically places several NICs/accelerators behind
+    one IOMMU; ``count`` instantiates that many identical device paths
+    (DevTLB + PTB + Prefetch Unit each), all translating through the single
+    shared chipset.  ``sid_map`` routes tenants to devices:
+
+    * ``round_robin`` — ``device = sid % count`` (tenants striped evenly);
+    * ``hash`` — a multiplicative hash of the SID (uneven but stationary,
+      models hash-based queue/function assignment);
+    * ``explicit`` — ``explicit_map`` pairs ``(sid, device)`` pin tenants
+      to devices; unmapped SIDs fall back to round-robin.
+
+    The default (``count=1``) is the paper's single device + chipset pair
+    and is behaviour-identical to the pre-fabric model.
+    """
+
+    count: int = 1
+    sid_map: str = "round_robin"
+    explicit_map: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("device count must be >= 1")
+        if self.sid_map not in SID_MAP_SCHEMES:
+            raise ValueError(
+                f"sid_map must be one of {SID_MAP_SCHEMES}, got {self.sid_map!r}"
+            )
+        for pair in self.explicit_map:
+            if len(pair) != 2:
+                raise ValueError(f"explicit_map entries are (sid, device): {pair!r}")
+            sid, device = pair
+            if not 0 <= device < self.count:
+                raise ValueError(
+                    f"explicit_map routes sid {sid} to device {device}, but only "
+                    f"{self.count} devices exist"
+                )
+
+    def device_for(self, sid: int) -> int:
+        """The device index tenant ``sid``'s traffic arrives on."""
+        if self.count == 1:
+            return 0
+        if self.sid_map == "explicit":
+            for mapped_sid, device in self.explicit_map:
+                if mapped_sid == sid:
+                    return device
+            return sid % self.count
+        if self.sid_map == "hash":
+            # Knuth multiplicative hash: stationary but deliberately uneven
+            # for small SID ranges (models hash-based queue assignment).
+            return ((sid * 0x9E3779B1) & 0xFFFFFFFF) % self.count
+        return sid % self.count
+
+
 @dataclass(frozen=True)
 class ArchConfig:
-    """A complete device + chipset architecture (one column of Table IV)."""
+    """A complete I/O fabric architecture (one column of Table IV).
+
+    ``devices`` adds the fabric dimension on top of the paper's columns:
+    how many device paths sit in front of the shared chipset (default one,
+    the paper's configuration).
+    """
 
     name: str
     ptb_entries: int
@@ -115,6 +180,8 @@ class ArchConfig:
     chipset_iotlb: Optional[TlbConfig] = None
     #: Concurrent page-table walkers in the IOMMU; ``None`` = unbounded.
     iommu_walkers: Optional[int] = None
+    #: The multi-device fabric dimension (default: one device).
+    devices: DeviceConfig = field(default_factory=DeviceConfig)
 
     @property
     def effective_chipset_iotlb(self) -> TlbConfig:

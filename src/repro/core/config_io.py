@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.config import (
     ArchConfig,
+    DeviceConfig,
     PrefetchConfig,
     TimingParams,
     TlbConfig,
@@ -84,6 +85,14 @@ def config_to_dict(config: ArchConfig) -> Dict[str, Any]:
     }
     if config.chipset_iotlb is not None:
         document["chipset_iotlb"] = _tlb_to_dict(config.chipset_iotlb)
+    if config.devices != DeviceConfig():
+        # Omitted at the default (one device) so pre-fabric documents —
+        # and their content hashes in the result store — are unchanged.
+        document["devices"] = {
+            "count": config.devices.count,
+            "sid_map": config.devices.sid_map,
+            "explicit_map": [list(pair) for pair in config.devices.explicit_map],
+        }
     return document
 
 
@@ -93,7 +102,7 @@ def config_from_dict(raw: Dict[str, Any]) -> ArchConfig:
         raw,
         (
             "name", "ptb_entries", "devtlb", "l2_tlb", "l3_tlb",
-            "prefetch", "timing", "chipset_iotlb", "iommu_walkers",
+            "prefetch", "timing", "chipset_iotlb", "iommu_walkers", "devices",
         ),
         "config",
     )
@@ -118,6 +127,18 @@ def config_from_dict(raw: Dict[str, Any]) -> ArchConfig:
     chipset: Optional[TlbConfig] = None
     if "chipset_iotlb" in raw:
         chipset = _tlb_from_dict(raw["chipset_iotlb"], "chipset_iotlb")
+    devices_raw = raw.get("devices", {})
+    _check_keys(devices_raw, ("count", "sid_map", "explicit_map"), "devices")
+    try:
+        devices = DeviceConfig(
+            count=devices_raw.get("count", 1),
+            sid_map=devices_raw.get("sid_map", "round_robin"),
+            explicit_map=tuple(
+                tuple(pair) for pair in devices_raw.get("explicit_map", ())
+            ),
+        )
+    except (TypeError, ValueError) as error:
+        raise ConfigFormatError(f"devices: {error}") from None
     try:
         return ArchConfig(
             name=raw["name"],
@@ -129,6 +150,7 @@ def config_from_dict(raw: Dict[str, Any]) -> ArchConfig:
             timing=TimingParams(**timing_raw),
             chipset_iotlb=chipset,
             iommu_walkers=raw.get("iommu_walkers"),
+            devices=devices,
         )
     except (TypeError, ValueError) as error:
         raise ConfigFormatError(f"config: {error}") from None

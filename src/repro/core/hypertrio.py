@@ -1,43 +1,75 @@
-"""Assembly of the full device + chipset translation path.
+"""Assembly of the device + chipset translation path.
 
-:func:`build_translation_path` instantiates, from an
-:class:`~repro.core.config.ArchConfig`, every structure of Figure 6: the
-(possibly partitioned) DevTLB, the Pending Translation Buffer, the Prefetch
-Unit with its IOVA history, and the chipset IOMMU with its IOTLB, nested TLB
-and PTE cache.  The returned :class:`TranslationPath` is what the
-performance model drives.
+Historically this module built the *single* device + chipset pair of the
+paper's Figure 6.  The hardware now lives in :mod:`repro.core.fabric`,
+split into its two physical halves — :class:`~repro.core.fabric.DevicePath`
+(DevTLB, PTB, Prefetch Unit) and :class:`~repro.core.fabric.ChipsetPath`
+(IOMMU + caches, context cache, walker pool, IOVA history, DRAM) — which a
+:class:`~repro.core.fabric.Fabric` composes N-of-one-behind.
+
+:class:`TranslationPath` remains the single-device API: a *view* pairing
+one device path with the shared chipset, exposing every structure under
+its historical attribute name.  :func:`build_translation_path` builds a
+one-device fabric and returns its view, so existing callers (the NIC
+model, tests, examples) are unchanged.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Hashable, Optional
 
-from repro.cache.base import TranslationCache
-from repro.cache.partitioned import PartitionedCache
-from repro.cache.setassoc import FullyAssociativeCache, SetAssociativeCache
-from repro.core.config import ArchConfig, TlbConfig
-from repro.core.prefetch import IovaHistory, PrefetchUnit
-from repro.core.ptb import PendingTranslationBuffer
-from repro.device.devtlb import build_devtlb
-from repro.iommu.context import ContextCache, ContextEntry
-from repro.iommu.iommu import Iommu, IommuTimings
-from repro.mem.dram import MainMemory
+from repro.core.config import ArchConfig
+from repro.core.fabric import ChipsetPath, DevicePath, Fabric
 
 
 @dataclass
 class TranslationPath:
-    """All hardware structures of one device + chipset pair."""
+    """One device path + the (possibly shared) chipset path.
+
+    With one device this is exactly the paper's Figure 6 hardware; in a
+    multi-device fabric each device gets its own view onto the shared
+    chipset.  Attribute names match the pre-fabric ``TranslationPath`` so
+    the simulator, NIC model, and tests read structures the same way.
+    """
 
     config: ArchConfig
-    devtlb: TranslationCache
-    ptb: PendingTranslationBuffer
-    iommu: Iommu
-    memory: MainMemory
-    prefetch_unit: Optional[PrefetchUnit]
-    iova_history: Optional[IovaHistory]
-    context_cache: ContextCache
+    device: DevicePath
+    chipset: ChipsetPath
+
+    # -- device-side structures ----------------------------------------
+    @property
+    def devtlb(self):
+        return self.device.devtlb
+
+    @property
+    def ptb(self):
+        return self.device.ptb
+
+    @property
+    def prefetch_unit(self):
+        return self.device.prefetch_unit
+
+    # -- chipset-side structures ---------------------------------------
+    @property
+    def iommu(self):
+        return self.chipset.iommu
+
+    @property
+    def memory(self):
+        return self.chipset.memory
+
+    @property
+    def context_cache(self):
+        return self.chipset.context_cache
+
+    @property
+    def iova_history(self):
+        return self.chipset.iova_history
+
+    @property
+    def walker_pool(self):
+        return self.chipset.walker_pool
 
     def named_caches(self):
         """``(name, cache)`` pairs for every translation cache in the path
@@ -53,13 +85,17 @@ class TranslationPath:
         return pairs
 
 
-def attach_observability(path: TranslationPath, observability) -> None:
+def attach_observability(path, observability) -> None:
     """Wire an :class:`~repro.obs.Observability` bundle into ``path``.
 
-    Currently this means installing cross-tenant eviction attribution
-    listeners on every cache (the direct measurement behind the paper's
-    isolation claim).  A disabled bundle — or one without an eviction
-    layer — attaches nothing, leaving every hot path untouched.
+    ``path`` is anything exposing ``named_caches()`` — a
+    :class:`TranslationPath` view or a whole
+    :class:`~repro.core.fabric.Fabric` (whose cache names carry a
+    ``dev<i>.`` prefix when more than one device exists).  Currently this
+    means installing cross-tenant eviction attribution listeners on every
+    cache (the direct measurement behind the paper's isolation claim).  A
+    disabled bundle — or one without an eviction layer — attaches nothing,
+    leaving every hot path untouched.
     """
     if observability is None or not observability.enabled:
         return
@@ -70,44 +106,17 @@ def attach_observability(path: TranslationPath, observability) -> None:
         cache.eviction_listener = evictions.listener_for(name)
 
 
-def _build_tlb(
-    tlb_config: TlbConfig,
-    name: str,
-    next_use: Optional[Callable[[Hashable], Optional[float]]] = None,
-) -> TranslationCache:
-    """Instantiate one cache from a :class:`TlbConfig`."""
-    if tlb_config.fully_associative:
-        return FullyAssociativeCache(
-            num_entries=tlb_config.num_entries,
-            policy=tlb_config.policy,
-            name=name,
-            next_use=next_use,
-        )
-    if tlb_config.num_partitions > 1:
-        return PartitionedCache(
-            num_entries=tlb_config.num_entries,
-            ways=tlb_config.ways,
-            num_partitions=tlb_config.num_partitions,
-            policy=tlb_config.policy,
-            name=name,
-            next_use=next_use,
-        )
-    return SetAssociativeCache(
-        num_entries=tlb_config.num_entries,
-        ways=tlb_config.ways,
-        policy=tlb_config.policy,
-        name=name,
-        next_use=next_use,
-    )
-
-
 def build_translation_path(
     config: ArchConfig,
     walker_for_sid: Callable[[int], object],
     sids=(),
     devtlb_next_use: Optional[Callable[[Hashable], Optional[float]]] = None,
 ) -> TranslationPath:
-    """Build the Figure 6 hardware for ``config``.
+    """Build the Figure 6 hardware for ``config`` (single-device view).
+
+    Always assembles exactly one device path regardless of
+    ``config.devices.count`` — multi-device callers build a
+    :class:`~repro.core.fabric.Fabric` directly.
 
     Parameters
     ----------
@@ -120,53 +129,11 @@ def build_translation_path(
         Future-knowledge callable, required when the DevTLB policy is
         ``oracle``.
     """
-    memory = MainMemory(latency_ns=config.timing.dram_latency_ns)
-    devtlb = build_devtlb(
-        num_entries=config.devtlb.num_entries,
-        ways=config.devtlb.ways,
-        num_partitions=config.devtlb.num_partitions,
-        policy=config.devtlb.policy,
-        fully_associative=config.devtlb.fully_associative,
-        name="devtlb",
-        next_use=devtlb_next_use,
+    if config.devices.count != 1:
+        from repro.core.config import DeviceConfig
+
+        config = config.with_overrides(devices=DeviceConfig())
+    fabric = Fabric(
+        config, walker_for_sid, sids=sids, devtlb_next_use=devtlb_next_use
     )
-    context_cache = ContextCache()
-    for sid in sids:
-        context_cache.register(sid, ContextEntry(did=sid, root_table_hpa=0))
-    iotlb_config = config.effective_chipset_iotlb
-    if iotlb_config.policy.lower() == "oracle" and config.chipset_iotlb is None:
-        # The chipset IOTLB only mirrors the DevTLB geometry; the oracle
-        # studies (Figure 11b/c) idealise the DevTLB alone, so the mirrored
-        # IOTLB falls back to the paper's default LFU policy.
-        ways = 8 if iotlb_config.num_entries % 8 == 0 else 1
-        iotlb_config = dataclasses.replace(
-            iotlb_config, policy="lfu", fully_associative=False, ways=ways,
-            num_partitions=1,
-        )
-    iommu = Iommu(
-        iotlb=_build_tlb(iotlb_config, "iotlb"),
-        nested_tlb=_build_tlb(config.l3_tlb, "nested-tlb"),
-        pte_cache=_build_tlb(config.l2_tlb, "pte-cache"),
-        walker_for_sid=walker_for_sid,
-        memory=memory,
-        context_cache=context_cache,
-        timings=IommuTimings(
-            iotlb_hit_ns=config.timing.iotlb_hit_ns,
-            cache_hit_ns=config.timing.iotlb_hit_ns,
-        ),
-    )
-    prefetch_unit = None
-    iova_history = None
-    if config.prefetch.enabled:
-        prefetch_unit = PrefetchUnit(config.prefetch)
-        iova_history = IovaHistory(depth=config.prefetch.pages_per_tenant)
-    return TranslationPath(
-        config=config,
-        devtlb=devtlb,
-        ptb=PendingTranslationBuffer(config.ptb_entries),
-        iommu=iommu,
-        memory=memory,
-        prefetch_unit=prefetch_unit,
-        iova_history=iova_history,
-        context_cache=context_cache,
-    )
+    return fabric.view(0)

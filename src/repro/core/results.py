@@ -9,7 +9,7 @@ dataclasses so sweeps can tabulate them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.base import CacheStats
 from repro.core.ptb import PtbStats
@@ -61,6 +61,57 @@ class RequestLatencyStats:
 
 
 @dataclass
+class DeviceResult:
+    """Per-device breakdown of one multi-device fabric run.
+
+    Each device of the fabric gets its own link-level packet accounting,
+    translation-latency distribution, PTB stats, and device-local cache
+    stats, plus its share of the *shared* chipset: how often its misses hit
+    the shared IOTLB and how long they queued for the bounded walker pool
+    — the cross-device contention the fabric experiments measure.
+    """
+
+    device_id: int
+    packets: PacketStats
+    latency: RequestLatencyStats
+    ptb: PtbStats
+    elapsed_ns: float
+    achieved_bandwidth_gbps: float
+    cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    #: Shared-IOTLB outcomes of this device's DevTLB misses.
+    iotlb_hits: int = 0
+    iotlb_misses: int = 0
+    #: Time this device's walks queued behind other devices' walks.
+    walker_queue_delay_ns: float = 0.0
+    invalidation_messages: int = 0
+
+    @property
+    def iotlb_hit_rate(self) -> float:
+        total = self.iotlb_hits + self.iotlb_misses
+        return self.iotlb_hits / total if total else 0.0
+
+
+@dataclass
+class FabricStats:
+    """Shared-chipset aggregates of one multi-device run."""
+
+    num_devices: int
+    sid_map: str
+    #: Jobs served by the shared walker pool and their accumulated queue
+    #: delay (cross-device walker contention).
+    walker_jobs: int = 0
+    walker_total_queue_delay_ns: float = 0.0
+
+    @property
+    def walker_mean_queue_delay_ns(self) -> float:
+        return (
+            self.walker_total_queue_delay_ns / self.walker_jobs
+            if self.walker_jobs
+            else 0.0
+        )
+
+
+@dataclass
 class SimulationResult:
     """Output of one :class:`~repro.sim.simulator.HyperSimulator` run."""
 
@@ -85,6 +136,18 @@ class SimulationResult:
     #: filled from :attr:`latency`'s histogram when the simulator builds
     #: the result.
     percentiles: Dict[str, float] = field(default_factory=dict)
+    #: Per-device breakdowns; populated only for multi-device fabrics
+    #: (``devices.count > 1``) — with one device the top-level fields *are*
+    #: that device, and single-device serialisations stay byte-identical to
+    #: the pre-fabric model.
+    device_results: List[DeviceResult] = field(default_factory=list)
+    #: Shared-chipset aggregates; ``None`` for single-device runs.
+    fabric: Optional[FabricStats] = None
+
+    @property
+    def num_devices(self) -> int:
+        """Devices in the fabric this result came from."""
+        return len(self.device_results) if self.device_results else 1
 
     @property
     def prefetch_supplied_fraction(self) -> float:

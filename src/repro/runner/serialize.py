@@ -21,14 +21,60 @@ from typing import Any, Dict
 from repro.analysis.scale import RunScale
 from repro.cache.base import CacheStats
 from repro.core.ptb import PtbStats
-from repro.core.results import RequestLatencyStats, SimulationResult
+from repro.core.results import (
+    DeviceResult,
+    FabricStats,
+    RequestLatencyStats,
+    SimulationResult,
+)
 from repro.device.packet import PacketStats
 from repro.mem.dram import DramStats
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
-    """Serialise a :class:`SimulationResult` to JSON-compatible data."""
-    return dataclasses.asdict(result)
+    """Serialise a :class:`SimulationResult` to JSON-compatible data.
+
+    The multi-device fields are omitted at their defaults (no per-device
+    breakdowns, no fabric aggregates), so single-device serialisations
+    stay byte-identical to the pre-fabric format — the same documents
+    hash, cache, and diff the same.
+    """
+    document = dataclasses.asdict(result)
+    if not document.get("device_results"):
+        document.pop("device_results", None)
+    if document.get("fabric") is None:
+        document.pop("fabric", None)
+    return document
+
+
+def _device_result_from_dict(raw: Dict[str, Any]) -> DeviceResult:
+    packets_raw = dict(raw["packets"])
+    packets_raw["per_tenant_processed"] = {
+        int(sid): count
+        for sid, count in (packets_raw.get("per_tenant_processed") or {}).items()
+    }
+    latency_raw = dict(raw["latency"])
+    latency_raw["buckets"] = {
+        int(bucket): count
+        for bucket, count in (latency_raw.get("buckets") or {}).items()
+    }
+    latency_raw.setdefault("min_ns", 0.0)
+    return DeviceResult(
+        device_id=raw["device_id"],
+        packets=PacketStats(**packets_raw),
+        latency=RequestLatencyStats(**latency_raw),
+        ptb=PtbStats(**raw["ptb"]),
+        elapsed_ns=raw["elapsed_ns"],
+        achieved_bandwidth_gbps=raw["achieved_bandwidth_gbps"],
+        cache_stats={
+            name: CacheStats(**stats)
+            for name, stats in (raw.get("cache_stats") or {}).items()
+        },
+        iotlb_hits=raw.get("iotlb_hits", 0),
+        iotlb_misses=raw.get("iotlb_misses", 0),
+        walker_queue_delay_ns=raw.get("walker_queue_delay_ns", 0.0),
+        invalidation_messages=raw.get("invalidation_messages", 0),
+    )
 
 
 def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
@@ -65,6 +111,13 @@ def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
         prefetch_supplied=raw.get("prefetch_supplied", 0),
         invalidation_messages=raw.get("invalidation_messages", 0),
         percentiles=raw.get("percentiles") or {},
+        device_results=[
+            _device_result_from_dict(entry)
+            for entry in (raw.get("device_results") or [])
+        ],
+        fabric=(
+            FabricStats(**raw["fabric"]) if raw.get("fabric") is not None else None
+        ),
     )
 
 

@@ -7,28 +7,35 @@ main :class:`~repro.sim.simulator.HyperSimulator` in this repository is
 packet arrivals can be replayed in order without an event queue.
 
 :class:`EventDrivenSimulator` re-implements the same semantics on top of
-an explicit event queue: packet arrivals chain along the serial link (one
-outstanding arrival event at a time, as the wire delivers packets in
-order), drop-and-retry admissions reschedule, and prefetch installs fire
-as their own events.  Given identical inputs the two engines must produce
-*identical* results; ``tests/test_des.py`` asserts exactly that, which
-validates the analytic shortcut.  The event engine is also the natural
-extension point for behaviours a closed-form replay cannot express (e.g.
-time-varying link rates), so it is a public part of the library, not just
-a test fixture.
+an explicit event queue: each device's packet arrivals chain along its
+serial link (one outstanding arrival event per device, as the wire
+delivers packets in order), drop-and-retry admissions reschedule, and
+prefetch installs fire as their own events.  Equal-time events across
+devices dispatch in device-id order — exactly the ``(next_time,
+device_id)`` merge the analytic engine performs — so given identical
+inputs the two engines must produce *identical* results for any number of
+devices; ``tests/test_des.py`` asserts exactly that, which validates the
+analytic shortcut.  The event engine is also the natural extension point
+for behaviours a closed-form replay cannot express (e.g. time-varying
+link rates), so it is a public part of the library, not just a test
+fixture.
+
+Both engines drive the same :class:`~repro.sim.engine.DeviceEngine`
+components, so "same semantics" is structural, not coincidental: only the
+top-level scheduling differs.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import math
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, List, Optional
 
 from repro.core.config import ArchConfig
 from repro.core.results import SimulationResult
+from repro.sim.engine import PacketRouter
 from repro.sim.simulator import HyperSimulator
 from repro.trace.constructor import HyperTrace
 
@@ -47,10 +54,17 @@ class EventKind(IntEnum):
 
 @dataclass(order=True)
 class Event:
-    """One scheduled event; orders by (time, kind, sequence)."""
+    """One scheduled event; orders by (time, kind, tiebreak, sequence).
+
+    ``tiebreak`` carries the device id so equal-time arrivals on
+    different devices dispatch in device order, mirroring the analytic
+    engine's cursor merge; it is 0 throughout a single-device run, which
+    reduces to the historical (time, kind, sequence) order.
+    """
 
     time: float
     kind: EventKind
+    tiebreak: int
     sequence: int
     payload: Any = field(compare=False, default=None)
 
@@ -62,8 +76,12 @@ class EventQueue:
         self._heap: List[Event] = []
         self._counter = itertools.count()
 
-    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> None:
-        heapq.heappush(self._heap, Event(time, kind, next(self._counter), payload))
+    def schedule(
+        self, time: float, kind: EventKind, payload: Any = None, tiebreak: int = 0
+    ) -> None:
+        heapq.heappush(
+            self._heap, Event(time, kind, tiebreak, next(self._counter), payload)
+        )
 
     def pop(self) -> Event:
         if not self._heap:
@@ -85,53 +103,57 @@ class EventQueue:
 class EventDrivenSimulator(HyperSimulator):
     """The performance model, driven by an explicit event queue.
 
-    Reuses every structural component of :class:`HyperSimulator` (caches,
-    PTB, prefetch unit, request processing); only the top-level control
-    flow differs.
+    Reuses every structural component of :class:`HyperSimulator` — the
+    fabric and its per-device engines (caches, PTB, prefetch unit, request
+    processing); only the top-level control flow differs.
     """
 
     def run(
         self, max_packets: Optional[int] = None, warmup_packets: int = 0
     ) -> SimulationResult:
-        timing = self.config.timing
-        bits_per_ns = timing.link_bandwidth_gbps  # Gb/s == bits/ns
-        packets = self.trace.packets
+        from itertools import islice
+
+        trace_packets = self.trace.packets
+        total = len(trace_packets)
         if max_packets is not None:
-            packets = packets[:max_packets]
-        if warmup_packets >= len(packets):
+            total = min(total, max_packets)
+        if warmup_packets >= total:
             raise ValueError(
                 f"warmup ({warmup_packets}) must be shorter than the trace "
-                f"({len(packets)} packets)"
+                f"({total} packets)"
             )
-
-        def wire_time(packet) -> float:
-            if packet.size_bytes == timing.packet_bytes:
-                return timing.packet_interarrival_ns
-            return packet.size_bytes * 8 / bits_per_ns
+        source = (
+            iter(trace_packets)
+            if max_packets is None
+            else islice(trace_packets, max_packets)
+        )
+        router = PacketRouter(source, self.fabric)
 
         queue = EventQueue()
         state = _RunState()
-        if packets:
-            # The link is serial: exactly one arrival is outstanding at any
-            # time, and accepting packet i schedules packet i+1.
-            queue.schedule(
-                wire_time(packets[0]),
-                EventKind.PACKET_ARRIVAL,
-                _Arrival(index=0, is_retry=False),
-            )
+        for engine in self.engines:
+            # Each device's link is serial: exactly one arrival per device
+            # is outstanding at any time, and accepting a packet schedules
+            # that device's next one.
+            if engine.fetch_next(router):
+                self._schedule_arrival(queue, engine)
 
         while queue:
             event = queue.pop()
             if event.kind is EventKind.PREFETCH_INSTALL:
-                sid, page, hpa, page_shift = event.payload
-                self._apply_install(event.time, sid, page, hpa, page_shift)
+                device_id, sid, page, hpa, page_shift = event.payload
+                self.engines[device_id].apply_install(
+                    event.time, sid, page, hpa, page_shift
+                )
                 continue
             self._dispatch_arrival(
-                queue, event.time, event.payload, packets, wire_time,
+                queue, event.time, self.engines[event.payload], router,
                 warmup_packets, state,
             )
 
         elapsed = max(state.last_completion, state.last_arrival)
+        if self.telemetry is not None:
+            self.telemetry.finish(elapsed)
         return self._build_result(
             elapsed,
             measure_from_ns=state.measure_from_ns,
@@ -139,95 +161,65 @@ class EventDrivenSimulator(HyperSimulator):
         )
 
     # ------------------------------------------------------------------
+    def _schedule_arrival(self, queue: EventQueue, engine) -> None:
+        queue.schedule(
+            engine.next_time,
+            EventKind.PACKET_ARRIVAL,
+            engine.device_id,
+            tiebreak=engine.device_id,
+        )
+
     def _dispatch_arrival(
-        self, queue, arrival, marker, packets, wire_time, warmup_packets, state
+        self, queue, arrival, engine, router, warmup_packets, state
     ):
-        packet = packets[marker.index]
-        wire_ns = wire_time(packet)
-        if not marker.is_retry:
-            self.packet_stats.arrived += 1
+        if not engine.current_is_retry:
+            engine.begin_packet()
 
         if self.native:
-            self.packet_stats.accepted += 1
-            self.packet_stats.record_processed(packet)
+            completion = engine.process_native(arrival)
             self._finish_packet(
-                queue, arrival, arrival, marker.index, packets, wire_time,
-                warmup_packets, state,
+                queue, arrival, completion, engine, router, warmup_packets, state
             )
             return
 
-        ptb = self.path.ptb
-        if not ptb.can_accept(arrival):
-            ptb.reject_packet()
-            self.packet_stats.dropped += 1
-            self.packet_stats.retried += 1
-            free_at = ptb.earliest_free_time(arrival)
-            slots = max(1, math.ceil((free_at - arrival) / wire_ns))
+        if not engine.try_admit(arrival):
+            # try_admit advanced the engine's cursor to the retry slot.
+            self._schedule_arrival(queue, engine)
+            return
+
+        completion = engine.complete_packet(arrival, drain_installs=False)
+        # Lift the prefetches this packet issued into their own events.
+        for install_time, _seq, sid, page, hpa, page_shift in (
+            engine.pop_pending_installs()
+        ):
             queue.schedule(
-                arrival + slots * wire_ns,
-                EventKind.PACKET_ARRIVAL,
-                _Arrival(index=marker.index, is_retry=True),
+                install_time,
+                EventKind.PREFETCH_INSTALL,
+                (engine.device_id, sid, page, hpa, page_shift),
+                tiebreak=engine.device_id,
             )
-            return
-
-        self.packet_stats.accepted += 1
-        if packet.invalidations:
-            self._invalidate_pages(packet.sid, packet.invalidations)
-        if self.path.prefetch_unit is not None:
-            self._maybe_prefetch_evented(queue, arrival, packet.sid)
-        completion = arrival
-        for giova in packet.giovas:
-            finished = self._process_request(arrival, packet.sid, giova)
-            completion = max(completion, finished)
-        self.packet_stats.record_processed(packet)
         self._finish_packet(
-            queue, arrival, completion, marker.index, packets, wire_time,
-            warmup_packets, state,
+            queue, arrival, completion, engine, router, warmup_packets, state
         )
 
     def _finish_packet(
-        self, queue, arrival, completion, index, packets, wire_time,
-        warmup_packets, state,
+        self, queue, arrival, completion, engine, router, warmup_packets, state
     ):
         state.last_arrival = max(state.last_arrival, arrival)
         state.last_completion = max(state.last_completion, completion)
         state.processed += 1
-        if self.telemetry is not None:
-            self._sample_telemetry(arrival, packets[index])
+        if self.telemetry is not None and not self.native:
+            engine.sample_telemetry(arrival, engine.current_packet)
         if warmup_packets and state.processed == warmup_packets:
-            state.measure_from_ns = max(state.last_completion, state.last_arrival)
+            state.measure_from_ns = (
+                arrival if self.native
+                else max(state.last_completion, state.last_arrival)
+            )
             state.measure_from_bytes = self.packet_stats.bytes_processed
-        next_index = index + 1
-        if next_index < len(packets):
-            queue.schedule(
-                arrival + wire_time(packets[next_index]),
-                EventKind.PACKET_ARRIVAL,
-                _Arrival(index=next_index, is_retry=False),
-            )
-
-    # ------------------------------------------------------------------
-    def _maybe_prefetch_evented(self, queue: EventQueue, now: float, sid: int):
-        """Run the shared prefetch logic, then lift installs into events."""
-        before = len(self._pending_installs)
-        self._maybe_prefetch(now, sid)
-        if len(self._pending_installs) == before:
-            return
-        for entry in self._pending_installs:
-            install_time, psid, page, hpa, page_shift = entry
-            queue.schedule(
-                install_time,
-                EventKind.PREFETCH_INSTALL,
-                (psid, page, hpa, page_shift),
-            )
-        self._pending_installs.clear()
-
-
-@dataclass
-class _Arrival:
-    """Payload of a PACKET_ARRIVAL event."""
-
-    index: int
-    is_retry: bool
+            for other in self.engines:
+                other.measure_from_bytes = other.packet_stats.bytes_processed
+        if engine.fetch_next(router):
+            self._schedule_arrival(queue, engine)
 
 
 @dataclass
@@ -247,7 +239,15 @@ def simulate_evented(
     native: bool = False,
     max_packets: Optional[int] = None,
     warmup_packets: int = 0,
+    telemetry=None,
+    observability=None,
 ) -> SimulationResult:
     """One-call convenience mirroring :func:`repro.sim.simulator.simulate`."""
-    simulator = EventDrivenSimulator(config, trace, native=native)
+    simulator = EventDrivenSimulator(
+        config,
+        trace,
+        native=native,
+        telemetry=telemetry,
+        observability=observability,
+    )
     return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)

@@ -10,32 +10,47 @@ IOMMU, which may perform a two-dimensional page-table walk, and cross PCIe
 back.  At the end of a run, achieved bandwidth is total bytes processed
 divided by the time taken to translate everything.
 
+The hardware is a :class:`~repro.core.fabric.Fabric`: ``devices.count``
+device paths (DevTLB + PTB + Prefetch Unit each, driven by a
+:class:`~repro.sim.engine.DeviceEngine`) behind one shared chipset (IOMMU
+caches, walker pool, DRAM).  Each device's link is independent — packets
+routed to it by SID arrive back-to-back at the configured rate — while
+every DevTLB miss contends for the shared chipset.  With one device (the
+default) the model is exactly the paper's Figure 6 single device+chipset
+pair.
+
 Timing is analytic rather than event-queued: each request's latency is
 fully determined at issue, so PTB occupancy and bounded IOMMU walker pools
-are tracked as min-heaps of completion times (exact for this model).  Two
-documented approximations, both also present in trace-driven models of this
-kind: cache state is updated in trace order (a request that arrives while a
-fill for the same page is still in flight counts as a hit — zero-cost
+are tracked as min-heaps of completion times (exact for this model).  The
+run loop merges the per-device packet cursors in global ``(time,
+device_id)`` order, which makes shared-chipset accesses happen in the same
+order as the event-driven twin (:mod:`repro.sim.des`).  Two documented
+approximations, both also present in trace-driven models of this kind:
+cache state is updated in trace order (a request that arrives while a fill
+for the same page is still in flight counts as a hit — zero-cost
 hit-under-miss), and a prefetch updates chipset cache state when issued
 while its device-side installs are delayed by the full prefetch latency.
 """
 
 from __future__ import annotations
 
-import math
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache.base import CacheStats
 from repro.core.config import ArchConfig
-from repro.core.hypertrio import (
-    TranslationPath,
-    attach_observability,
-    build_translation_path,
+from repro.core.fabric import Fabric, build_fabric
+from repro.core.hypertrio import TranslationPath, attach_observability
+from repro.core.ptb import PtbStats
+from repro.core.results import (
+    DeviceResult,
+    FabricStats,
+    RequestLatencyStats,
+    SimulationResult,
 )
-from repro.core.results import RequestLatencyStats, SimulationResult
 from repro.device.packet import PacketStats
-from repro.obs import events as ev
+from repro.sim.engine import DeviceEngine, PacketRouter
 from repro.sim.oracle import FutureOracle, oracle_for_trace
-from repro.sim.resources import ResourcePool, UnboundedPool
 from repro.trace.constructor import HyperTrace
 
 
@@ -46,7 +61,8 @@ class HyperSimulator:
     ----------
     config:
         Architecture to model (see :func:`repro.core.config.base_config` and
-        :func:`repro.core.config.hypertrio_config`).
+        :func:`repro.core.config.hypertrio_config`), including the
+        ``devices`` fabric dimension.
     trace:
         The hyper-trace plus the tenant system behind it.
     native:
@@ -79,39 +95,35 @@ class HyperSimulator:
         tracer = observability.tracer if obs_on else None
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
         self._metrics = observability.metrics if obs_on else None
-        self._trace_packet = False
-        if self._metrics is not None:
-            # Local instrument caches so the hot path skips the registry's
-            # (name, labels) key construction per event.
-            self._sid_latency: Dict[int, object] = {}
-            self._sid_counters: Dict[Tuple[str, int], object] = {}
         self._oracle: Optional[FutureOracle] = None
         next_use = None
         if config.devtlb.policy.lower() == "oracle":
             self._oracle = oracle_for_trace(trace.packets)
             next_use = self._oracle.next_use
-        self.path: TranslationPath = build_translation_path(
+        self.fabric: Fabric = build_fabric(
             config,
             walker_for_sid=trace.system.walker_for,
             sids=trace.system.sids(),
             devtlb_next_use=next_use,
         )
+        #: Single-device view kept for API compatibility: ``path.devtlb``
+        #: etc. address device 0 plus the shared chipset.
+        self.path: TranslationPath = self.fabric.view(0)
         if obs_on:
-            attach_observability(self.path, observability)
-        if config.iommu_walkers is None:
-            self._walker_pool = UnboundedPool()
-        else:
-            self._walker_pool = ResourcePool(config.iommu_walkers)
+            attach_observability(
+                self.path if self.fabric.num_devices == 1 else self.fabric,
+                observability,
+            )
+        # Run-global accounting (sums over all devices, recorded live).
         self.packet_stats = PacketStats()
         self.latency_stats = RequestLatencyStats()
-        # Prefetch plumbing: installs pending their arrival back at the
-        # device, keyed min-heap by install time.
-        self._pending_installs: List[Tuple[float, int, int, int, int]] = []
-        self._inflight_prefetches: set = set()
-        self._last_predicted_sid: Optional[int] = None
-        #: ATS-style invalidation messages sent to the device (driver
+        #: ATS-style invalidation messages sent to the devices (driver
         #: unmap events in the trace).
         self.invalidation_messages = 0
+        self.engines: List[DeviceEngine] = [
+            DeviceEngine(self, self.fabric, device_id)
+            for device_id in range(self.fabric.num_devices)
+        ]
 
     # ------------------------------------------------------------------
     # Main loop
@@ -125,86 +137,71 @@ class HyperSimulator:
         bandwidth measurement (caches and predictors keep their state; only
         the byte/time accounting restarts), mirroring the paper's
         steady-state methodology (workloads run 60-360 s and traces stop
-        before any tenant drains).
+        before any tenant drains).  With several devices the warmup counts
+        *fabric-wide* accepted packets.
         """
-        timing = self.config.timing
-        interarrival = timing.packet_interarrival_ns
-        ptb = self.path.ptb
-        packets = self.trace.packets
+        trace_packets = self.trace.packets
+        total = len(trace_packets)
         if max_packets is not None:
-            packets = packets[:max_packets]
-        if warmup_packets >= len(packets):
+            total = min(total, max_packets)
+        if warmup_packets >= total:
             raise ValueError(
                 f"warmup ({warmup_packets}) must be shorter than the trace "
-                f"({len(packets)} packets)"
+                f"({total} packets)"
             )
+        source = (
+            iter(trace_packets)
+            if max_packets is None
+            else islice(trace_packets, max_packets)
+        )
+        router = PacketRouter(source, self.fabric)
 
-        bits_per_ns = timing.link_bandwidth_gbps  # Gb/s == bits/ns
-        clock = 0.0
+        engines = self.engines
+        active = [engine for engine in engines if engine.fetch_next(router)]
+        native = self.native
+        telemetry = self.telemetry
         last_completion = 0.0
         measure_from_ns = 0.0
         measure_from_bytes = 0
         processed = 0
-        tracer = self._tracer
-        for packet in packets:
-            # Per-packet wire time: small packets (e.g. key-value traffic)
-            # arrive faster than full frames.
-            if packet.size_bytes == timing.packet_bytes:
-                wire_ns = interarrival
-            else:
-                wire_ns = packet.size_bytes * 8 / bits_per_ns
-            arrival = clock + wire_ns
-            self.packet_stats.arrived += 1
-            if tracer is not None:
-                self._trace_packet = tracer.sample_packet()
-            if self.native:
+        while active:
+            # Merge the per-device cursors: the globally earliest pending
+            # arrival (retries included) runs next, ties broken by device
+            # id — the same order the event queue in repro.sim.des pops.
+            engine = min(active, key=_engine_order)
+            arrival = engine.next_time
+            if not engine.current_is_retry:
+                engine.begin_packet()
+            if native:
                 # No translation: the packet is processed at line rate.
-                self.packet_stats.accepted += 1
-                self.packet_stats.record_processed(packet)
-                clock = arrival
-                last_completion = max(last_completion, arrival)
-                processed += 1
-                if warmup_packets and processed == warmup_packets:
-                    measure_from_ns = arrival
-                    measure_from_bytes = self.packet_stats.bytes_processed
-                continue
-
-            arrival = self._admit(arrival, wire_ns, ptb, packet.sid)
-            self.packet_stats.accepted += 1
-            if self._trace_packet:
-                tracer.emit(
-                    ev.PACKET_ADMIT,
-                    arrival,
-                    packet.sid,
-                    size_bytes=packet.size_bytes,
-                )
-            if packet.invalidations:
-                self._invalidate_pages(packet.sid, packet.invalidations)
-            self._drain_prefetch_installs(arrival)
-            if self.path.prefetch_unit is not None:
-                self._maybe_prefetch(arrival, packet.sid)
-            completion = arrival
-            for giova in packet.giovas:
-                finished = self._process_request(arrival, packet.sid, giova)
-                completion = max(completion, finished)
-            self.packet_stats.record_processed(packet)
+                completion = engine.process_native(arrival)
+            else:
+                if not engine.try_admit(arrival):
+                    continue
+                completion = engine.complete_packet(arrival)
             last_completion = max(last_completion, completion)
-            clock = arrival
             processed += 1
-            if self.telemetry is not None:
-                self._sample_telemetry(arrival, packet)
+            if telemetry is not None and not native:
+                engine.sample_telemetry(arrival, engine.current_packet)
             if warmup_packets and processed == warmup_packets:
-                measure_from_ns = max(last_completion, clock)
+                measure_from_ns = arrival if native else max(last_completion, arrival)
                 measure_from_bytes = self.packet_stats.bytes_processed
+                for other in engines:
+                    other.measure_from_bytes = other.packet_stats.bytes_processed
+            if not engine.fetch_next(router):
+                active.remove(engine)
 
         # Apply prefetches still in flight when the trace ends, so final
         # cache-state accounting matches the event-driven engine.
-        self._drain_prefetch_installs(float("inf"))
-        elapsed = max(last_completion, clock)
-        if self.telemetry is not None:
+        for engine in engines:
+            engine.drain_installs(float("inf"))
+        elapsed = last_completion
+        for engine in engines:
+            elapsed = max(elapsed, engine.clock)
+        if telemetry is not None:
             # Flush the trailing partial window so tail packets are not
             # silently excluded from the windowed series.
-            self.telemetry.finish(elapsed)
+            telemetry.finish(elapsed)
         return self._build_result(
             elapsed,
             measure_from_ns=measure_from_ns,
@@ -212,254 +209,7 @@ class HyperSimulator:
         )
 
     # ------------------------------------------------------------------
-    def _admit(self, arrival: float, interarrival: float, ptb, sid: int = -1) -> float:
-        """Drop-and-retry until a PTB entry is free at an arrival slot.
-
-        Dropped packets are retried at the next slot (Section IV-C), so the
-        trace is eventually fully consumed; lost slots surface as stretched
-        elapsed time, i.e. reduced average bandwidth.
-        """
-        while not ptb.can_accept(arrival):
-            ptb.reject_packet()
-            self.packet_stats.dropped += 1
-            self.packet_stats.retried += 1
-            if self._trace_packet:
-                self._tracer.emit(
-                    ev.PACKET_DROP,
-                    arrival,
-                    sid,
-                    occupancy=ptb.occupancy(arrival),
-                )
-            free_at = ptb.earliest_free_time(arrival)
-            slots = max(1, math.ceil((free_at - arrival) / interarrival))
-            arrival += slots * interarrival
-        return arrival
-
-    # ------------------------------------------------------------------
-    def _process_request(self, now: float, sid: int, giova: int) -> float:
-        """Translate one gIOVA; returns its completion time."""
-        timing = self.config.timing
-        path = self.path
-        page = giova >> 12
-        key = (sid, page)
-        tracer = self._tracer if self._trace_packet else None
-
-        if self._oracle is not None:
-            self._oracle.consume(key)
-        if path.iova_history is not None:
-            path.iova_history.record(sid, page)
-
-        latency = timing.iotlb_hit_ns  # DevTLB lookup itself
-        cached = path.devtlb.lookup(key)
-        hit = cached is not None
-        if tracer is not None:
-            tracer.emit(ev.DEVTLB_HIT if hit else ev.DEVTLB_MISS, now, sid, page=page)
-        if hit and cached[2]:
-            # First demand hit on a prefetched entry: credit the prefetcher
-            # and clear the provenance flag.
-            path.prefetch_unit.stats.supplied_translations += 1
-            path.devtlb.insert(key, (cached[0], cached[1], False))
-            if tracer is not None:
-                tracer.emit(ev.PREFETCH_SUPPLY, now, sid, page=page, via="devtlb")
-        if not hit and path.prefetch_unit is not None:
-            if path.prefetch_unit.lookup(sid, page) is not None:
-                hit = True
-                path.prefetch_unit.stats.supplied_translations += 1
-                if tracer is not None:
-                    tracer.emit(ev.PB_HIT, now, sid, page=page)
-                    tracer.emit(
-                        ev.PREFETCH_SUPPLY, now, sid, page=page, via="prefetch_buffer"
-                    )
-        if not hit:
-            # Miss: cross PCIe, translate at the chipset, cross back.
-            outcome = path.iommu.translate(sid, giova)
-            at_chipset = now + timing.pcie_one_way_ns
-            start, served = self._walker_pool.acquire(
-                at_chipset, outcome.latency_ns
-            )
-            chipset_time = served - at_chipset
-            latency += 2 * timing.pcie_one_way_ns + chipset_time
-            path.devtlb.insert(key, (outcome.hpa, outcome.page_shift, False))
-            if tracer is not None:
-                self._emit_chipset_events(
-                    tracer, sid, page, at_chipset, start, served, outcome
-                )
-        completion = path.ptb.issue(now, latency)
-        self.latency_stats.record(latency)
-        if tracer is not None:
-            tracer.emit(
-                ev.PTB_ENQUEUE, now, sid, wait_ns=max(0.0, completion - latency - now)
-            )
-            tracer.emit(ev.PTB_RELEASE, completion, sid)
-            tracer.emit(
-                ev.REQUEST_TRANSLATE,
-                now,
-                sid,
-                dur_ns=completion - now,
-                page=page,
-                hit=hit,
-            )
-        if self._metrics is not None:
-            self._record_request_metrics(sid, latency, hit)
-        return completion
-
-    # ------------------------------------------------------------------
-    def _emit_chipset_events(
-        self, tracer, sid: int, page: int, at_chipset: float, start: float,
-        served: float, outcome,
-    ) -> None:
-        """Trace the chipset side of one DevTLB miss (IOTLB, walker pool)."""
-        if outcome.iotlb_hit:
-            tracer.emit(ev.IOTLB_HIT, at_chipset, sid, page=page)
-            return
-        tracer.emit(ev.IOTLB_MISS, at_chipset, sid, page=page)
-        tracer.emit(
-            ev.WALKER_ACQUIRE, at_chipset, sid, queue_delay_ns=start - at_chipset
-        )
-        tracer.emit(
-            ev.WALKER_WALK,
-            start,
-            sid,
-            dur_ns=served - start,
-            memory_accesses=outcome.memory_accesses,
-            nested_hits=outcome.nested_hits,
-            nested_misses=outcome.nested_misses,
-        )
-        tracer.emit(ev.WALKER_RELEASE, served, sid)
-
-    def _record_request_metrics(self, sid: int, latency: float, hit: bool) -> None:
-        """Per-SID metric updates for one translation (metrics layer on)."""
-        histogram = self._sid_latency.get(sid)
-        if histogram is None:
-            histogram = self._metrics.histogram("translation_latency_ns", sid=sid)
-            self._sid_latency[sid] = histogram
-        histogram.record(latency)
-        counter_key = ("devtlb.hit" if hit else "devtlb.miss", sid)
-        counter = self._sid_counters.get(counter_key)
-        if counter is None:
-            counter = self._metrics.counter(
-                counter_key[0], structure="devtlb", sid=sid
-            )
-            self._sid_counters[counter_key] = counter
-        counter.inc()
-
-    # ------------------------------------------------------------------
-    def _sample_telemetry(self, now: float, packet) -> None:
-        path = self.path
-        supplied = (
-            path.prefetch_unit.stats.supplied_translations
-            if path.prefetch_unit is not None
-            else 0
-        )
-        self.telemetry.on_packet(
-            now_ns=now,
-            size_bytes=packet.size_bytes,
-            devtlb_stats=path.devtlb.stats,
-            supplied=supplied,
-            requests=self.latency_stats.count,
-            drops=self.packet_stats.dropped,
-            ptb_occupancy=path.ptb.occupancy(now),
-        )
-
-    # ------------------------------------------------------------------
-    def _invalidate_pages(self, sid: int, pages) -> None:
-        """Flush unmapped pages from every translation structure.
-
-        Driven by a trace's invalidation events (driver unmap before
-        advancing to the next data page).  The nested TLB and PTE cache
-        keep their entries — those cache page-table structure that survives
-        a leaf remap — while the final-translation caches must drop theirs.
-        """
-        path = self.path
-        for page in pages:
-            self.invalidation_messages += 1
-            key = (sid, page)
-            path.devtlb.invalidate(key)
-            path.iommu.iotlb.invalidate(key)
-            if path.prefetch_unit is not None:
-                path.prefetch_unit.buffer.invalidate(key)
-            self._inflight_prefetches.discard(key)
-            walker = self.trace.system.walker_for(sid)
-            walker.invalidate(page << 12)
-
-    # ------------------------------------------------------------------
-    # Prefetching
-    # ------------------------------------------------------------------
-    def _maybe_prefetch(self, now: float, sid: int) -> None:
-        """Observe the SID stream; issue a prefetch for the predicted SID."""
-        pu = self.path.prefetch_unit
-        history = self.path.iova_history
-        predicted = pu.observe_and_predict(sid)
-        if predicted is None or predicted == self._last_predicted_sid:
-            return
-        self._last_predicted_sid = predicted
-        tracer = self._tracer if self._trace_packet else None
-        if tracer is not None:
-            tracer.emit(ev.PREFETCH_PREDICT, now, sid, predicted_sid=predicted)
-        pages = history.most_recent(predicted)[: self.config.prefetch.pages_per_tenant]
-        if not pages:
-            return
-        timing = self.config.timing
-        # The chipset-side IOVA history reader: PCIe out, one memory read of
-        # the history record, then concurrent IOMMU translations of the
-        # predicted pages, PCIe back.
-        base_latency = self.path.memory.read("history")
-        issued = 0
-        for page in pages:
-            if pu.buffer.contains((predicted, page)):
-                continue
-            if (predicted, page) in self._inflight_prefetches:
-                continue
-            outcome = self.path.iommu.translate(predicted, page << 12)
-            install_time = (
-                now + 2 * timing.pcie_one_way_ns + base_latency + outcome.latency_ns
-            )
-            self._pending_installs.append(
-                (install_time, predicted, page, outcome.hpa, outcome.page_shift)
-            )
-            self._inflight_prefetches.add((predicted, page))
-            issued += 1
-            if tracer is not None:
-                tracer.emit(
-                    ev.PREFETCH_ISSUE, now, predicted,
-                    page=page, install_at_ns=install_time,
-                )
-        if issued:
-            self._pending_installs.sort(key=lambda item: item[0])
-            pu.note_prefetch_issued(issued)
-
-    def _apply_install(
-        self, install_time: float, sid: int, page: int, hpa: int, page_shift: int
-    ) -> None:
-        """Apply one completed prefetch at the device.
-
-        The translation enters the Prefetch Buffer and the (partitioned)
-        DevTLB, the latter with prefetch-aware insertion priority and a pin
-        so demand-miss bursts cannot evict it before the predicted tenant's
-        turn (DESIGN.md calls this install decision out for ablation).
-        """
-        self.path.prefetch_unit.install(sid, page, hpa, page_shift)
-        self.path.devtlb.insert(
-            (sid, page), (hpa, page_shift, True), priority=1, pinned=True
-        )
-        self._inflight_prefetches.discard((sid, page))
-        if self._trace_packet:
-            self._tracer.emit(ev.PREFETCH_INSTALL, install_time, sid, page=page)
-
-    def _drain_prefetch_installs(self, now: float) -> None:
-        """Install completed prefetches into the PB and the DevTLB."""
-        pu = self.path.prefetch_unit
-        if pu is None or not self._pending_installs:
-            return
-        pending = self._pending_installs
-        index = 0
-        while index < len(pending) and pending[index][0] <= now:
-            install_time, sid, page, hpa, page_shift = pending[index]
-            self._apply_install(install_time, sid, page, hpa, page_shift)
-            index += 1
-        if index:
-            del pending[:index]
-
+    # Result assembly
     # ------------------------------------------------------------------
     def _build_result(
         self,
@@ -471,22 +221,53 @@ class HyperSimulator:
         measured_bits = (self.packet_stats.bytes_processed - measure_from_bytes) * 8
         window_ns = elapsed_ns - measure_from_ns
         achieved = measured_bits / window_ns if window_ns > 0 else 0.0
-        path = self.path
+        fabric = self.fabric
+        chipset = fabric.chipset
+        single = fabric.num_devices == 1
+        if single:
+            # One device: report the live stats objects, exactly as the
+            # pre-fabric model did.
+            device = fabric.devices[0]
+            devtlb_stats = device.devtlb.stats
+            ptb_stats = device.ptb.stats
+        else:
+            devtlb_stats = _merged_cache_stats(
+                device.devtlb.stats for device in fabric.devices
+            )
+            ptb_stats = _merged_ptb_stats(
+                device.ptb.stats for device in fabric.devices
+            )
         cache_stats = {
-            "devtlb": path.devtlb.stats,
-            "iotlb": path.iommu.iotlb.stats,
-            "nested_tlb": path.iommu.nested_tlb.stats,
-            "pte_cache": path.iommu.pte_cache.stats,
-            "context": path.context_cache.stats,
+            "devtlb": devtlb_stats,
+            "iotlb": chipset.iommu.iotlb.stats,
+            "nested_tlb": chipset.iommu.nested_tlb.stats,
+            "pte_cache": chipset.iommu.pte_cache.stats,
+            "context": chipset.context_cache.stats,
         }
         pb_hit_rate = 0.0
         prefetch_requests = 0
         prefetch_supplied = 0
-        if path.prefetch_unit is not None:
-            cache_stats["prefetch_buffer"] = path.prefetch_unit.buffer.stats
-            pb_hit_rate = path.prefetch_unit.stats.buffer_hit_rate
-            prefetch_requests = path.prefetch_unit.stats.prefetch_requests
-            prefetch_supplied = path.prefetch_unit.stats.supplied_translations
+        if fabric.devices[0].prefetch_unit is not None:
+            if single:
+                unit = fabric.devices[0].prefetch_unit
+                cache_stats["prefetch_buffer"] = unit.buffer.stats
+                pb_hit_rate = unit.stats.buffer_hit_rate
+                prefetch_requests = unit.stats.prefetch_requests
+                prefetch_supplied = unit.stats.supplied_translations
+            else:
+                cache_stats["prefetch_buffer"] = _merged_cache_stats(
+                    device.prefetch_unit.buffer.stats for device in fabric.devices
+                )
+                pb_hits = 0
+                pb_misses = 0
+                for device in fabric.devices:
+                    stats = device.prefetch_unit.stats
+                    pb_hits += stats.buffer_hits
+                    pb_misses += stats.buffer_misses
+                    prefetch_requests += stats.prefetch_requests
+                    prefetch_supplied += stats.supplied_translations
+                pb_total = pb_hits + pb_misses
+                pb_hit_rate = pb_hits / pb_total if pb_total else 0.0
         benchmark = self._benchmark_name()
         percentiles = {}
         if self.latency_stats.count:
@@ -495,6 +276,20 @@ class HyperSimulator:
                 "p95_ns": self.latency_stats.percentile(95),
                 "p99_ns": self.latency_stats.percentile(99),
             }
+        device_results: List[DeviceResult] = []
+        fabric_stats: Optional[FabricStats] = None
+        if not single:
+            device_results = [
+                self._device_result(engine, measure_from_ns)
+                for engine in self.engines
+            ]
+            pool = chipset.walker_pool
+            fabric_stats = FabricStats(
+                num_devices=fabric.num_devices,
+                sid_map=self.config.devices.sid_map,
+                walker_jobs=pool.jobs_served,
+                walker_total_queue_delay_ns=pool.total_queue_delay_ns,
+            )
         return SimulationResult(
             config_name=self.config.name,
             benchmark=benchmark,
@@ -505,14 +300,42 @@ class HyperSimulator:
             achieved_bandwidth_gbps=achieved,
             packets=self.packet_stats,
             latency=self.latency_stats,
-            ptb=path.ptb.stats,
-            dram=path.memory.stats,
+            ptb=ptb_stats,
+            dram=chipset.memory.stats,
             cache_stats=cache_stats,
             prefetch_buffer_hit_rate=pb_hit_rate,
             prefetch_requests=prefetch_requests,
             prefetch_supplied=prefetch_supplied,
             invalidation_messages=self.invalidation_messages,
             percentiles=percentiles,
+            device_results=device_results,
+            fabric=fabric_stats,
+        )
+
+    def _device_result(
+        self, engine: DeviceEngine, measure_from_ns: float
+    ) -> DeviceResult:
+        """Per-device breakdown for one engine (multi-device runs only)."""
+        device = engine.device
+        dev_elapsed = max(engine.last_completion, engine.clock)
+        dev_bits = (engine.packet_stats.bytes_processed - engine.measure_from_bytes) * 8
+        dev_window = dev_elapsed - measure_from_ns
+        dev_achieved = dev_bits / dev_window if dev_window > 0 else 0.0
+        cache_stats: Dict[str, CacheStats] = {"devtlb": device.devtlb.stats}
+        if device.prefetch_unit is not None:
+            cache_stats["prefetch_buffer"] = device.prefetch_unit.buffer.stats
+        return DeviceResult(
+            device_id=engine.device_id,
+            packets=engine.packet_stats,
+            latency=engine.latency_stats,
+            ptb=device.ptb.stats,
+            elapsed_ns=dev_elapsed,
+            achieved_bandwidth_gbps=dev_achieved,
+            cache_stats=cache_stats,
+            iotlb_hits=engine.iotlb_hits,
+            iotlb_misses=engine.iotlb_misses,
+            walker_queue_delay_ns=engine.walker_queue_delay_ns,
+            invalidation_messages=engine.invalidation_messages,
         )
 
     def _benchmark_name(self) -> str:
@@ -523,9 +346,46 @@ class HyperSimulator:
         return first.spec.profile.name
 
 
+def _engine_order(engine: DeviceEngine) -> Tuple[float, int]:
+    """Global dispatch order of pending per-device arrivals."""
+    return (engine.next_time, engine.device_id)
+
+
+def _merged_cache_stats(stats_iter) -> CacheStats:
+    """Sum :class:`CacheStats` across devices into a fresh object."""
+    merged = CacheStats()
+    for stats in stats_iter:
+        merged = merged.merged_with(stats)
+    return merged
+
+
+def _merged_ptb_stats(stats_iter) -> PtbStats:
+    """Aggregate per-device PTB stats (max of maxima, sums elsewhere)."""
+    merged = PtbStats()
+    for stats in stats_iter:
+        merged.issued += stats.issued
+        merged.rejected_packets += stats.rejected_packets
+        merged.max_occupancy = max(merged.max_occupancy, stats.max_occupancy)
+        merged.occupancy_accumulator += stats.occupancy_accumulator
+        merged.total_wait_ns += stats.total_wait_ns
+    return merged
+
+
 def simulate(
-    config: ArchConfig, trace: HyperTrace, native: bool = False,
+    config: ArchConfig,
+    trace: HyperTrace,
+    native: bool = False,
     max_packets: Optional[int] = None,
+    warmup_packets: int = 0,
+    telemetry=None,
+    observability=None,
 ) -> SimulationResult:
     """One-call convenience: build a simulator and run it."""
-    return HyperSimulator(config, trace, native=native).run(max_packets=max_packets)
+    simulator = HyperSimulator(
+        config,
+        trace,
+        native=native,
+        telemetry=telemetry,
+        observability=observability,
+    )
+    return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)

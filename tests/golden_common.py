@@ -1,0 +1,93 @@
+"""Shared definitions for the ``devices=1`` golden-file regression.
+
+The multi-device fabric refactor must be behaviour-preserving at the
+default of one device: for the configurations below — the Figure-5 case
+study point and representative sweep points — the refactored simulator
+must produce a :class:`~repro.core.results.SimulationResult` that is
+field-identical to the pre-refactor engine.  The pinned expectations in
+``tests/data/golden_devices1.json`` were generated *before* the refactor
+(by ``scripts/generate_golden.py``); the regression test recomputes every
+point with the current code and compares serialised results key by key.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.core.config import base_config, case_study_timing, hypertrio_config
+from repro.runner.serialize import result_to_dict
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import profile_by_name
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_devices1.json"
+
+#: name -> (config factory kwargs, workload coordinates).  Every point uses
+#: a short trace so the regression stays fast while still exercising the
+#: prefetcher, invalidations, bounded walkers, and the 10 Gb/s case study.
+GOLDEN_POINTS: Dict[str, Dict[str, Any]] = {
+    "figure5_case_study": {
+        "config": "base_10g",
+        "benchmark": "iperf3",
+        "tenants": 8,
+        "interleaving": "RR1",
+        "packets": 2000,
+        "warmup": 500,
+    },
+    "sweep_base_mediastream": {
+        "config": "base",
+        "benchmark": "mediastream",
+        "tenants": 8,
+        "interleaving": "RR1",
+        "packets": 2000,
+        "warmup": 500,
+    },
+    "sweep_hypertrio_mediastream": {
+        "config": "hypertrio",
+        "benchmark": "mediastream",
+        "tenants": 8,
+        "interleaving": "RR1",
+        "packets": 2000,
+        "warmup": 500,
+    },
+    "hypertrio_walkers_keyvalue": {
+        "config": "hypertrio_walkers2",
+        "benchmark": "keyvalue",
+        "tenants": 4,
+        "interleaving": "RAND1",
+        "packets": 1500,
+        "warmup": 300,
+    },
+}
+
+
+def _build_config(name: str):
+    if name == "base":
+        return base_config()
+    if name == "base_10g":
+        return base_config(timing=case_study_timing())
+    if name == "hypertrio":
+        return hypertrio_config()
+    if name == "hypertrio_walkers2":
+        return hypertrio_config().with_overrides(iommu_walkers=2)
+    raise ValueError(f"unknown golden config {name!r}")
+
+
+def compute_golden_point(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one golden point and return its serialised result."""
+    trace = construct_trace(
+        profile_by_name(spec["benchmark"]),
+        num_tenants=spec["tenants"],
+        packets_per_tenant=200_000,
+        interleaving=spec["interleaving"],
+        seed=0,
+        max_packets=spec["packets"],
+    )
+    config = _build_config(spec["config"])
+    result = HyperSimulator(config, trace).run(warmup_packets=spec["warmup"])
+    return result_to_dict(result)
+
+
+def compute_all_golden_points() -> Dict[str, Dict[str, Any]]:
+    return {name: compute_golden_point(spec) for name, spec in GOLDEN_POINTS.items()}

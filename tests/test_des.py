@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.config import base_config, hypertrio_config
+from repro.core.config import DeviceConfig, base_config, hypertrio_config
+from repro.runner.serialize import result_to_dict
 from repro.sim.des import EventDrivenSimulator, EventKind, EventQueue, simulate_evented
 from repro.sim.simulator import HyperSimulator
 from repro.trace.constructor import construct_trace
@@ -79,6 +80,50 @@ class TestEngineEquivalence:
         trace = _fresh_trace()
         result = simulate_evented(hypertrio_config(), trace, warmup_packets=100)
         assert 0.0 < result.link_utilization <= 1.0
+
+
+class TestMultiDeviceParity:
+    """Analytic vs event-driven over the fabric dimension.
+
+    The matrix crosses device counts with interleavings on a config that
+    exercises every mechanism the engines must agree on per device:
+    prefetch installs (heap vs install events), invalidations, and a
+    bounded walker pool shared across devices.  Results are compared via
+    their full serialised documents — every counter, histogram bucket,
+    per-device breakdown, and fabric aggregate must be identical.
+    """
+
+    @staticmethod
+    def _config(devices):
+        return hypertrio_config().with_overrides(
+            iommu_walkers=2,
+            devices=DeviceConfig(count=devices, sid_map="round_robin"),
+        )
+
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    @pytest.mark.parametrize("interleaving", ["RR1", "RR4", "RAND1"])
+    def test_serialised_results_identical(self, devices, interleaving):
+        config = self._config(devices)
+        analytic, evented = _compare(
+            config, profile=KEYVALUE, interleaving=interleaving, warmup=100
+        )
+        assert result_to_dict(evented) == result_to_dict(analytic)
+
+    @pytest.mark.parametrize("devices", [2, 4])
+    def test_device_breakdowns_match(self, devices):
+        analytic, evented = _compare(self._config(devices))
+        assert len(analytic.device_results) == devices
+        for left, right in zip(analytic.device_results, evented.device_results):
+            assert left == right
+        assert analytic.fabric == evented.fabric
+
+    def test_hash_map_identical(self):
+        config = hypertrio_config().with_overrides(
+            iommu_walkers=2,
+            devices=DeviceConfig(count=4, sid_map="hash"),
+        )
+        analytic, evented = _compare(config)
+        assert result_to_dict(evented) == result_to_dict(analytic)
 
 
 class TestEventQueue:
