@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.device_scaling import device_scaling
 from repro.analysis.report import ExperimentTable
+from repro.analysis.resilience import resilience
 from repro.analysis.scale import DEFAULT, RunScale
 from repro.analysis.sweeps import cached_trace, run_point
 from repro.core.config import (
@@ -638,9 +639,11 @@ def figure12c(scale: Optional[RunScale] = None) -> ExperimentTable:
 
 #: Every driver, keyed by its paper anchor (benchmarks iterate this).
 #: ``device_scaling`` extends the paper with the multi-device fabric axis
-#: (see :mod:`repro.analysis.device_scaling`).
+#: (see :mod:`repro.analysis.device_scaling`); ``resilience`` extends it
+#: with fault injection (see :mod:`repro.analysis.resilience`).
 ALL_EXPERIMENTS = {
     "device_scaling": device_scaling,
+    "resilience": resilience,
     "table1": table1,
     "table2": table2,
     "table3": table3,

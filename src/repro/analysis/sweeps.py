@@ -203,12 +203,15 @@ def run_point(
     seed: int = 0,
     telemetry=None,
     observability=None,
+    fault_plan=None,
 ) -> SweepPoint:
     """Simulate one sweep point at the given scale.
 
     ``telemetry`` and ``observability`` are forwarded to the simulator
     (points answered by an execution hook were simulated elsewhere and
-    ignore them).
+    ignore them).  ``fault_plan`` runs the point under fault injection
+    (see :mod:`repro.faults`); it is part of the point's identity for
+    orchestration hooks.
     """
     if _point_hook is not None:
         result = _point_hook(
@@ -219,6 +222,7 @@ def run_point(
             scale=scale,
             native=native,
             seed=seed,
+            fault_plan=fault_plan,
         )
         if result is not None:
             return SweepPoint(
@@ -237,6 +241,7 @@ def run_point(
         warmup_packets=warmup,
         telemetry=telemetry,
         observability=observability,
+        fault_plan=fault_plan,
     )
     return SweepPoint(
         config_name=config.name,

@@ -119,6 +119,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = config.with_overrides(
             devices=_parse_device_config(args.devices, args.sid_map)
         )
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlanFormatError, load_plan
+
+        try:
+            fault_plan = load_plan(args.fault_plan)
+        except FaultPlanFormatError as error:
+            print(f"bad fault plan {args.fault_plan}: {error}", file=sys.stderr)
+            return 2
     observability = None
     if args.trace_out or args.metrics_out:
         from repro.obs import Observability
@@ -129,10 +138,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
         else:
             observability = Observability.metrics_only()
-    result = HyperSimulator(config, trace, observability=observability).run(
-        warmup_packets=len(trace.packets) // 4
-    )
+    result = HyperSimulator(
+        config, trace, observability=observability, fault_plan=fault_plan
+    ).run(warmup_packets=len(trace.packets) // 4)
     print(result.summary())
+    if fault_plan is not None:
+        causes = result.packets.drop_causes
+        detail = ", ".join(
+            f"{cause}={causes[cause]}" for cause in sorted(causes)
+        ) or "none"
+        print(f"  faults (seed {fault_plan.seed}): drops by cause: {detail}")
     if result.device_results:
         fabric = result.fabric
         print(
@@ -180,32 +195,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale = dataclasses.replace(scale, max_packets=args.packets)
     counts = [int(c) for c in args.tenants.split(",")]
     device_counts = [int(c) for c in args.devices.split(",")]
+    fault_rates: List[Optional[float]] = [None]
+    if args.fault_axis:
+        from repro.faults import FaultPlan, TranslationFaultSpec
+
+        fault_rates = [float(rate) for rate in args.fault_axis.split(",")]
     columns = {}
     metric_points = []
     for count in counts:
         for name, factory in (("Base", base_config), ("HyperTRIO", hypertrio_config)):
             for num_devices in device_counts:
-                config = factory()
-                label = name
-                if len(device_counts) > 1 or num_devices != 1:
-                    label = f"{name} x{num_devices}dev"
-                if num_devices != 1:
-                    config = config.with_overrides(
-                        devices=_parse_device_config(num_devices, args.sid_map)
+                for fault_rate in fault_rates:
+                    config = factory()
+                    label = name
+                    if len(device_counts) > 1 or num_devices != 1:
+                        label = f"{name} x{num_devices}dev"
+                    if num_devices != 1:
+                        config = config.with_overrides(
+                            devices=_parse_device_config(num_devices, args.sid_map)
+                        )
+                    fault_plan = None
+                    if fault_rate is not None:
+                        label = f"{label} f={fault_rate:g}"
+                        if fault_rate > 0.0:
+                            fault_plan = FaultPlan(
+                                seed=args.seed,
+                                translation_faults=(
+                                    TranslationFaultSpec(probability=fault_rate),
+                                ),
+                            )
+                    point = run_point(
+                        config, args.benchmark, count, args.interleaving, scale,
+                        seed=args.seed, fault_plan=fault_plan,
                     )
-                point = run_point(
-                    config, args.benchmark, count, args.interleaving, scale,
-                    seed=args.seed,
-                )
-                columns.setdefault(label, []).append(point.utilization_percent)
-                print(
-                    f"{label:16s} {count:5d} tenants: "
-                    f"{point.utilization_percent:5.1f}%"
-                )
-                if args.metrics_out:
-                    result = point.result
-                    metric_points.append(
-                        {
+                    columns.setdefault(label, []).append(point.utilization_percent)
+                    print(
+                        f"{label:16s} {count:5d} tenants: "
+                        f"{point.utilization_percent:5.1f}%"
+                    )
+                    if args.metrics_out:
+                        result = point.result
+                        entry = {
                             "config": point.config_name,
                             "num_tenants": count,
                             "num_devices": num_devices,
@@ -222,7 +252,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                 **result.percentiles,
                             },
                         }
-                    )
+                        if fault_rate is not None:
+                            entry["fault_rate"] = fault_rate
+                            entry["drop_causes"] = dict(
+                                result.packets.drop_causes
+                            )
+                        metric_points.append(entry)
     if args.metrics_out:
         import json
 
@@ -300,6 +335,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"no run directory to resume: {runs_dir / run_id}", file=sys.stderr)
         return 2
     store = ResultStore(runs_dir, run_id)
+    if store.corrupt_records:
+        print(
+            f"[run {run_id}] warning: {len(store.corrupt_records)} corrupt "
+            f"result record(s) quarantined to {store.quarantine_path}; "
+            f"affected points will be re-executed",
+            file=sys.stderr,
+        )
     store.write_manifest(experiment=args.experiment, scale=scale.name)
     options = RunnerOptions(
         jobs=args.jobs,
@@ -496,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of packets to trace, 0..1 (default: 1.0); sampling "
              "is deterministic for a given --seed",
     )
+    simulate.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="inject faults from a FaultPlan JSON file (see repro.faults); "
+             "runs are bit-reproducible for a given plan seed",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = subparsers.add_parser("sweep", help="Base vs HyperTRIO tenant sweep")
@@ -518,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write per-point latency percentiles and drop counts as JSON",
+    )
+    sweep.add_argument(
+        "--fault-axis", default=None, metavar="RATES",
+        help="comma-separated translation-fault probabilities to sweep "
+             "(e.g. 0,0.01,0.05); each point runs under a seeded FaultPlan",
     )
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -574,7 +626,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--retries", type=int, default=1,
-        help="extra attempts per failed job (default: 1)",
+        help="extra attempts per job lost to infrastructure failures — "
+             "crashed or timed-out workers (default: 1); deterministic job "
+             "errors fail fast regardless",
     )
     run.add_argument(
         "--no-progress", action="store_true",

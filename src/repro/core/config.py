@@ -32,6 +32,13 @@ class TimingParams:
     link_bandwidth_gbps:
         Nominal I/O link rate (200 Gb/s in the evaluation, 10 Gb/s in the
         motivational case study).
+    fault_max_retries:
+        Degraded-mode retries when fault injection makes an IOMMU
+        translation attempt fault (not-present); exhausting the budget
+        drops the packet with cause ``translation_fault``.
+    fault_backoff_ns:
+        Base of the capped exponential backoff between those retries
+        (attempt ``k`` waits ``fault_backoff_ns * 2**k``).
     """
 
     pcie_one_way_ns: float = 450.0
@@ -39,6 +46,8 @@ class TimingParams:
     iotlb_hit_ns: float = 2.0
     packet_bytes: int = 1542
     link_bandwidth_gbps: float = 200.0
+    fault_max_retries: int = 3
+    fault_backoff_ns: float = 200.0
 
     @property
     def packet_interarrival_ns(self) -> float:

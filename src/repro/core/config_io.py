@@ -83,6 +83,14 @@ def config_to_dict(config: ArchConfig) -> Dict[str, Any]:
         },
         "iommu_walkers": config.iommu_walkers,
     }
+    # The fault-handling knobs follow the `devices` precedent: omitted at
+    # their defaults so pre-fault documents — and their content hashes in
+    # the result store — are unchanged.
+    timing_defaults = TimingParams()
+    if timing.fault_max_retries != timing_defaults.fault_max_retries:
+        document["timing"]["fault_max_retries"] = timing.fault_max_retries
+    if timing.fault_backoff_ns != timing_defaults.fault_backoff_ns:
+        document["timing"]["fault_backoff_ns"] = timing.fault_backoff_ns
     if config.chipset_iotlb is not None:
         document["chipset_iotlb"] = _tlb_to_dict(config.chipset_iotlb)
     if config.devices != DeviceConfig():
@@ -121,6 +129,7 @@ def config_from_dict(raw: Dict[str, Any]) -> ArchConfig:
         (
             "pcie_one_way_ns", "dram_latency_ns", "iotlb_hit_ns",
             "packet_bytes", "link_bandwidth_gbps",
+            "fault_max_retries", "fault_backoff_ns",
         ),
         "timing",
     )

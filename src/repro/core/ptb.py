@@ -53,8 +53,23 @@ class PendingTranslationBuffer:
         if num_entries < 1:
             raise ValueError("PTB needs at least one entry")
         self.num_entries = num_entries
+        #: Entries currently leaked (unusable) by fault injection.
+        self._leaked = 0
         self._completions: List[float] = []
         self.stats = PtbStats()
+
+    @property
+    def effective_entries(self) -> int:
+        """Usable capacity: nominal entries minus leaked ones (>= 1)."""
+        return max(1, self.num_entries - self._leaked)
+
+    def set_leak(self, leaked: int) -> None:
+        """Mark ``leaked`` entries as unusable (fault injection).
+
+        Clamped so at least one entry always remains usable — forward
+        progress is preserved even under a pathological leak plan.
+        """
+        self._leaked = min(max(0, leaked), self.num_entries - 1)
 
     # ------------------------------------------------------------------
     def _drain(self, now: float) -> None:
@@ -70,7 +85,7 @@ class PendingTranslationBuffer:
 
     def can_accept(self, now: float) -> bool:
         """Whether at least one entry is free at ``now`` (packet admission)."""
-        return self.occupancy(now) < self.num_entries
+        return self.occupancy(now) < self.effective_entries
 
     def earliest_free_time(self, now: float) -> float:
         """Earliest time a request issued at/after ``now`` can claim an entry.
@@ -79,7 +94,7 @@ class PendingTranslationBuffer:
         completion time in the buffer.
         """
         self._drain(now)
-        if len(self._completions) < self.num_entries:
+        if len(self._completions) < self.effective_entries:
             return now
         return self._completions[0]
 
@@ -95,7 +110,7 @@ class PendingTranslationBuffer:
             raise ValueError("latency cannot be negative")
         start = self.earliest_free_time(now)
         self.stats.total_wait_ns += start - now
-        if len(self._completions) >= self.num_entries:
+        if len(self._completions) >= self.effective_entries:
             # earliest_free_time returned a completion in the future: that
             # entry is the one we will reuse.
             heapq.heappop(self._completions)
@@ -116,6 +131,16 @@ class PendingTranslationBuffer:
         """Return the completion time of the last in-flight request (or 0)."""
         return max(self._completions) if self._completions else 0.0
 
+    def flush(self) -> int:
+        """Discard all in-flight entries (device reset), keeping stats.
+
+        Returns how many entries were discarded.
+        """
+        discarded = len(self._completions)
+        self._completions.clear()
+        return discarded
+
     def reset(self) -> None:
         self._completions.clear()
+        self._leaked = 0
         self.stats = PtbStats()

@@ -171,7 +171,7 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable summary (used by examples)."""
-        return (
+        line = (
             f"{self.config_name:10s} {self.benchmark:12s} "
             f"{self.num_tenants:5d} tenants {self.interleaving:6s} "
             f"{self.achieved_bandwidth_gbps:7.1f} Gb/s "
@@ -182,3 +182,16 @@ class SimulationResult:
             f"{self.latency.percentile(95):.0f}/"
             f"{self.latency.percentile(99):.0f} ns"
         )
+        # Fault-injected drop causes (anything beyond the paper's
+        # PTB-overflow drop-and-retry) get called out explicitly.
+        injected = {
+            cause: count
+            for cause, count in self.packets.drop_causes.items()
+            if cause != "ptb_overflow" and count
+        }
+        if injected:
+            detail = ", ".join(
+                f"{cause}={count}" for cause, count in sorted(injected.items())
+            )
+            line += f" [drops by cause: {detail}]"
+        return line

@@ -64,6 +64,12 @@ class Packet:
         )
 
 
+#: Drop causes recorded by the engines.  ``ptb_overflow`` is the paper's
+#: drop-and-retry admission failure; ``translation_fault`` and
+#: ``device_reset`` exist only under fault injection (:mod:`repro.faults`).
+DROP_CAUSES = ("ptb_overflow", "translation_fault", "device_reset")
+
+
 @dataclass
 class PacketStats:
     """Device-level packet accounting."""
@@ -74,10 +80,17 @@ class PacketStats:
     retried: int = 0
     bytes_processed: int = 0
     per_tenant_processed: dict = field(default_factory=dict)
+    #: Per-cause drop breakdown; always sums to ``dropped``.
+    drop_causes: dict = field(default_factory=dict)
 
     @property
     def drop_rate(self) -> float:
         return self.dropped / self.arrived if self.arrived else 0.0
+
+    def record_drop(self, cause: str) -> None:
+        """Count one dropped packet under ``cause``."""
+        self.dropped += 1
+        self.drop_causes[cause] = self.drop_causes.get(cause, 0) + 1
 
     def record_processed(self, packet: Packet) -> None:
         self.bytes_processed += packet.size_bytes

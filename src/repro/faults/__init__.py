@@ -1,0 +1,54 @@
+"""Deterministic fault injection for the translation fabric.
+
+The paper's hyper-tenant setting is motivated by worst-case behaviour —
+PTB overflow, invalidation-heavy tenants, cross-tenant interference — so
+the reproduction must stay trustworthy *under* adversity, not only on the
+happy path.  This package provides:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a JSON-round-trippable
+  description of scheduled and stochastic faults (translation faults,
+  invalidation storms, device resets, latency spikes, PTB entry leaks);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the seeded
+  runtime that applies a plan bit-reproducibly; with no plan the
+  simulator carries no injector at all (the zero-cost-when-disabled
+  pattern shared with :mod:`repro.obs`);
+* :mod:`repro.faults.chaos` — test-only chaos hooks for the parallel
+  runner (worker kills, result-store file corruption).
+
+See ``docs/RESILIENCE.md`` for the fault model and degraded-mode
+semantics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DeviceResetSpec,
+    FaultPlan,
+    FaultPlanFormatError,
+    InvalidationStormSpec,
+    LatencySpikeSpec,
+    PtbLeakSpec,
+    TranslationFaultSpec,
+    load_plan,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    save_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanFormatError",
+    "FaultInjector",
+    "TranslationFaultSpec",
+    "InvalidationStormSpec",
+    "DeviceResetSpec",
+    "LatencySpikeSpec",
+    "PtbLeakSpec",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_to_json",
+    "plan_from_json",
+    "save_plan",
+    "load_plan",
+]

@@ -1,0 +1,325 @@
+"""The fault model: what can go wrong, when, and how often.
+
+A :class:`FaultPlan` is a pure-data description of the faults one run
+should experience, JSON-round-trippable in the same strict style as
+:mod:`repro.core.config_io` (unknown keys fail loudly).  Plans are part
+of a run's identity: the parallel runner hashes them into
+:class:`~repro.runner.spec.JobSpec`, so a faulted sweep point and its
+fault-free twin never share a cache entry.
+
+Fault classes (all optional, all combinable):
+
+* :class:`TranslationFaultSpec` — the IOMMU walker returns not-present
+  for a gIOVA with some probability, optionally restricted to one SID
+  and/or a time window.  The device retries with capped exponential
+  backoff (``TimingParams.fault_max_retries`` / ``fault_backoff_ns``);
+  exhausted retries drop the packet with cause ``translation_fault``.
+* :class:`InvalidationStormSpec` — a burst unmap for one tenant at time
+  T: every cached translation for the SID is flushed everywhere (DevTLB,
+  prefetch buffer, in-flight prefetches, chipset IOTLB / nested TLB /
+  PTE cache, IOVA history).
+* :class:`DeviceResetSpec` — one device path resets mid-run: its DevTLB,
+  prefetch pipeline, and PTB are flushed and the packet arriving at the
+  reset instant is dropped with cause ``device_reset``.
+* :class:`LatencySpikeSpec` — transient extra latency on DRAM accesses
+  or PCIe crossings inside a time window.
+* :class:`PtbLeakSpec` — PTB entries temporarily leak: the buffer's
+  effective capacity shrinks inside a window, surfacing as extra
+  ``ptb_overflow`` drops.
+
+Stochastic choices come from a single ``random.Random(plan.seed)`` owned
+by the :class:`~repro.faults.injector.FaultInjector`, so a seeded plan
+replays bit-identically; a plan whose stochastic faults all have
+probability 0 consumes no randomness at all and is bit-identical to a
+no-plan run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+
+class FaultPlanFormatError(ValueError):
+    """Raised when a fault-plan document does not parse or validate."""
+
+
+def _check_keys(raw: Dict[str, Any], allowed, context: str) -> None:
+    unknown = set(raw) - set(allowed)
+    if unknown:
+        raise FaultPlanFormatError(
+            f"{context}: unknown keys {sorted(unknown)}; allowed: "
+            f"{sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class TranslationFaultSpec:
+    """Stochastic walker not-present faults.
+
+    ``sid=None`` faults every tenant; ``end_ns=None`` leaves the window
+    open-ended.  Each IOMMU attempt (first try and every retry) rolls
+    independently.
+    """
+
+    probability: float
+    sid: Optional[int] = None
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"translation-fault probability must be in [0, 1], got "
+                f"{self.probability}"
+            )
+        if self.end_ns is not None and self.end_ns <= self.start_ns:
+            raise ValueError("translation-fault window must have end_ns > start_ns")
+
+
+@dataclass(frozen=True)
+class InvalidationStormSpec:
+    """Burst unmap of every cached translation of tenant ``sid`` at ``at_ns``."""
+
+    sid: int
+    at_ns: float
+
+    def __post_init__(self):
+        if self.at_ns < 0:
+            raise ValueError("storm at_ns must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeviceResetSpec:
+    """Mid-run reset of one device path's translation state at ``at_ns``."""
+
+    device_id: int
+    at_ns: float
+
+    def __post_init__(self):
+        if self.device_id < 0:
+            raise ValueError("device_id must be non-negative")
+        if self.at_ns < 0:
+            raise ValueError("reset at_ns must be non-negative")
+
+
+#: Latency-spike targets: extra per-DRAM-access or per-PCIe-crossing ns.
+SPIKE_TARGETS = ("dram", "pcie")
+
+
+@dataclass(frozen=True)
+class LatencySpikeSpec:
+    """Transient extra latency inside ``[start_ns, end_ns)``.
+
+    ``target="pcie"`` adds ``extra_ns`` per PCIe crossing of a demand
+    miss; ``target="dram"`` adds ``extra_ns`` per DRAM access the walk
+    performed.  Charged to the affected requests only (shared structures
+    keep their nominal timing).
+    """
+
+    target: str
+    start_ns: float
+    end_ns: float
+    extra_ns: float
+
+    def __post_init__(self):
+        if self.target not in SPIKE_TARGETS:
+            raise ValueError(
+                f"spike target must be one of {SPIKE_TARGETS}, got {self.target!r}"
+            )
+        if self.end_ns <= self.start_ns:
+            raise ValueError("latency spike must have end_ns > start_ns")
+        if self.extra_ns < 0:
+            raise ValueError("spike extra_ns must be non-negative")
+
+
+@dataclass(frozen=True)
+class PtbLeakSpec:
+    """``entries`` PTB entries leak (unusable) inside ``[start_ns, end_ns)``.
+
+    ``device_id=None`` leaks on every device.  The effective capacity
+    never drops below one entry, so forward progress is preserved.
+    """
+
+    entries: int
+    start_ns: float
+    end_ns: float
+    device_id: Optional[int] = None
+
+    def __post_init__(self):
+        if self.entries < 1:
+            raise ValueError("leaked entries must be >= 1")
+        if self.end_ns <= self.start_ns:
+            raise ValueError("PTB leak must have end_ns > start_ns")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seedable fault schedule for one simulation run."""
+
+    seed: int = 0
+    translation_faults: Tuple[TranslationFaultSpec, ...] = ()
+    invalidation_storms: Tuple[InvalidationStormSpec, ...] = ()
+    device_resets: Tuple[DeviceResetSpec, ...] = ()
+    latency_spikes: Tuple[LatencySpikeSpec, ...] = ()
+    ptb_leaks: Tuple[PtbLeakSpec, ...] = field(default=())
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan can never perturb a run."""
+        return (
+            all(spec.probability == 0.0 for spec in self.translation_faults)
+            and not self.invalidation_storms
+            and not self.device_resets
+            and not self.latency_spikes
+            and not self.ptb_leaks
+        )
+
+
+# ----------------------------------------------------------------------
+# JSON round trip (strict, config_io style)
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """Serialise ``plan`` to plain JSON-compatible data.
+
+    Empty fault lists are omitted, so minimal plans stay minimal (and
+    hash minimally when embedded in a :class:`~repro.runner.spec.JobSpec`).
+    """
+    document: Dict[str, Any] = {"seed": plan.seed}
+    if plan.translation_faults:
+        document["translation_faults"] = [
+            {
+                "probability": spec.probability,
+                **({"sid": spec.sid} if spec.sid is not None else {}),
+                **({"start_ns": spec.start_ns} if spec.start_ns else {}),
+                **({"end_ns": spec.end_ns} if spec.end_ns is not None else {}),
+            }
+            for spec in plan.translation_faults
+        ]
+    if plan.invalidation_storms:
+        document["invalidation_storms"] = [
+            {"sid": spec.sid, "at_ns": spec.at_ns}
+            for spec in plan.invalidation_storms
+        ]
+    if plan.device_resets:
+        document["device_resets"] = [
+            {"device_id": spec.device_id, "at_ns": spec.at_ns}
+            for spec in plan.device_resets
+        ]
+    if plan.latency_spikes:
+        document["latency_spikes"] = [
+            {
+                "target": spec.target,
+                "start_ns": spec.start_ns,
+                "end_ns": spec.end_ns,
+                "extra_ns": spec.extra_ns,
+            }
+            for spec in plan.latency_spikes
+        ]
+    if plan.ptb_leaks:
+        document["ptb_leaks"] = [
+            {
+                "entries": spec.entries,
+                "start_ns": spec.start_ns,
+                "end_ns": spec.end_ns,
+                **(
+                    {"device_id": spec.device_id}
+                    if spec.device_id is not None
+                    else {}
+                ),
+            }
+            for spec in plan.ptb_leaks
+        ]
+    return document
+
+
+def _parse_specs(raw: Any, cls, allowed, context: str) -> Tuple:
+    if not isinstance(raw, list):
+        raise FaultPlanFormatError(f"{context}: expected a list")
+    specs = []
+    for index, entry in enumerate(raw):
+        entry_context = f"{context}[{index}]"
+        if not isinstance(entry, dict):
+            raise FaultPlanFormatError(f"{entry_context}: expected an object")
+        _check_keys(entry, allowed, entry_context)
+        try:
+            specs.append(cls(**entry))
+        except (TypeError, ValueError) as error:
+            raise FaultPlanFormatError(f"{entry_context}: {error}") from None
+    return tuple(specs)
+
+
+def plan_from_dict(raw: Dict[str, Any]) -> FaultPlan:
+    """Parse a :class:`FaultPlan` from plain data (strict)."""
+    _check_keys(
+        raw,
+        (
+            "seed", "translation_faults", "invalidation_storms",
+            "device_resets", "latency_spikes", "ptb_leaks",
+        ),
+        "fault plan",
+    )
+    return FaultPlan(
+        seed=raw.get("seed", 0),
+        translation_faults=_parse_specs(
+            raw.get("translation_faults", []),
+            TranslationFaultSpec,
+            ("probability", "sid", "start_ns", "end_ns"),
+            "translation_faults",
+        ),
+        invalidation_storms=_parse_specs(
+            raw.get("invalidation_storms", []),
+            InvalidationStormSpec,
+            ("sid", "at_ns"),
+            "invalidation_storms",
+        ),
+        device_resets=_parse_specs(
+            raw.get("device_resets", []),
+            DeviceResetSpec,
+            ("device_id", "at_ns"),
+            "device_resets",
+        ),
+        latency_spikes=_parse_specs(
+            raw.get("latency_spikes", []),
+            LatencySpikeSpec,
+            ("target", "start_ns", "end_ns", "extra_ns"),
+            "latency_spikes",
+        ),
+        ptb_leaks=_parse_specs(
+            raw.get("ptb_leaks", []),
+            PtbLeakSpec,
+            ("entries", "start_ns", "end_ns", "device_id"),
+            "ptb_leaks",
+        ),
+    )
+
+
+def plan_to_json(plan: FaultPlan, indent: int = 2) -> str:
+    """Serialise ``plan`` to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: str) -> FaultPlan:
+    """Parse a JSON string into a :class:`FaultPlan`."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FaultPlanFormatError(f"invalid JSON: {error}") from None
+    if not isinstance(raw, dict):
+        raise FaultPlanFormatError("fault plan document must be a JSON object")
+    return plan_from_dict(raw)
+
+
+def save_plan(plan: FaultPlan, path: Path) -> Path:
+    """Write ``plan`` to ``path`` as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(plan_to_json(plan) + "\n", encoding="utf-8")
+    return path
+
+
+def load_plan(path: Path) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file."""
+    return plan_from_json(Path(path).read_text(encoding="utf-8"))

@@ -109,6 +109,11 @@ class Iommu:
         self.context_cache = context_cache
         self.timings = timings or IommuTimings()
         self.walks_performed = 0
+        #: Callables invoked with the SID on every tenant-wide flush, so
+        #: device-side state that caches chipset answers (in-flight
+        #: prefetch installs in particular) can drop it too instead of
+        #: re-installing a stale translation after the unmap.
+        self._invalidation_listeners = []
 
     # ------------------------------------------------------------------
     def translate(self, sid: int, giova: int) -> TranslationOutcome:
@@ -191,12 +196,18 @@ class Iommu:
         return latency, accesses, nested_hits, nested_misses
 
     # ------------------------------------------------------------------
+    def add_invalidation_listener(self, listener: Callable[[int], None]) -> None:
+        """Register ``listener(sid)`` to run on every tenant-wide flush."""
+        self._invalidation_listeners.append(listener)
+
     def invalidate_tenant(self, sid: int) -> None:
         """Flush all cached state for ``sid`` (unmap/teardown path)."""
         for cache in (self.iotlb, self.nested_tlb, self.pte_cache):
             stale = [key for key in _iter_keys(cache) if key[0] == sid]
             for key in stale:
                 cache.invalidate(key)
+        for listener in self._invalidation_listeners:
+            listener(sid)
 
 
 def _iter_keys(cache: TranslationCache):

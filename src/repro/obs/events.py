@@ -23,6 +23,10 @@ The taxonomy mirrors the paper's Figure 3 walk through the hardware:
 * **prefetch** — the Translation Prefetching Scheme: a SID prediction, the
   prefetches issued for it, their installs back at the device, and demand
   translations supplied by a prefetched entry.
+* **fault** — fault-injection lifecycle (only with an active
+  :class:`~repro.faults.plan.FaultPlan`): an injected translation fault, a
+  packet dropped after exhausting degraded-mode retries, a device reset,
+  and an invalidation storm (see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
@@ -58,6 +62,12 @@ PREFETCH_ISSUE = "prefetch.issue"
 PREFETCH_INSTALL = "prefetch.install"
 PREFETCH_SUPPLY = "prefetch.supply"
 
+# Fault injection (emitted only when a fault plan is active) -----------
+FAULT_TRANSLATION = "fault.translation"
+FAULT_DROP = "fault.drop"
+FAULT_DEVICE_RESET = "fault.device_reset"
+FAULT_STORM = "fault.invalidation_storm"
+
 #: Every kind the simulator may emit (exporters and tests validate
 #: against this set).
 ALL_EVENT_KINDS = frozenset(
@@ -79,6 +89,10 @@ ALL_EVENT_KINDS = frozenset(
         PREFETCH_ISSUE,
         PREFETCH_INSTALL,
         PREFETCH_SUPPLY,
+        FAULT_TRANSLATION,
+        FAULT_DROP,
+        FAULT_DEVICE_RESET,
+        FAULT_STORM,
     }
 )
 

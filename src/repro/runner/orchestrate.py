@@ -91,10 +91,11 @@ def plan_driver(
         scale: RunScale,
         native: bool,
         seed: int,
+        fault_plan=None,
     ) -> SimulationResult:
         spec = JobSpec.from_point(
             config, benchmark, num_tenants, interleaving, scale,
-            seed=seed, native=native,
+            seed=seed, native=native, fault_plan=fault_plan,
         )
         if spec.spec_hash not in seen:
             seen.add(spec.spec_hash)
@@ -134,10 +135,11 @@ def run_experiment(
         scale: RunScale,
         native: bool,
         seed: int,
+        fault_plan=None,
     ) -> Optional[SimulationResult]:
         spec = JobSpec.from_point(
             config, benchmark, num_tenants, interleaving, scale,
-            seed=seed, native=native,
+            seed=seed, native=native, fault_plan=fault_plan,
         )
         # A miss (nondeterministic driver) falls back to in-process
         # simulation inside run_point — correct, just not parallel.

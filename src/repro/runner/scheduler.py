@@ -10,9 +10,12 @@
   with a configurable worker count, each worker primed by
   :func:`~repro.runner.worker.pool_initializer`;
 * **bounded retry with backoff** — a failed attempt re-queues with
-  exponential backoff until ``max_attempts`` is exhausted, at which point
-  the worker's exception is surfaced in the
-  :class:`~repro.runner.spec.JobResult`;
+  exponential backoff until its budget is exhausted, at which point the
+  worker's exception is surfaced in the
+  :class:`~repro.runner.spec.JobResult`.  Infrastructure failures
+  (broken pool, timeout, OS errors) are retryable up to ``max_attempts``;
+  exceptions raised by the job itself are deterministic and budgeted by
+  ``job_error_attempts`` (default 1: a poison job fails fast);
 * **per-job timeouts** — a job past its deadline is declared failed (or
   re-queued, if attempts remain) and the pool is recycled, which actually
   kills the hung worker process rather than leaking it;
@@ -62,6 +65,15 @@ class JobTimeoutError(RuntimeError):
     """A job exceeded its per-job timeout and its worker was recycled."""
 
 
+#: Failures of the execution *infrastructure* (a worker died, a job timed
+#: out, the OS refused resources) — transient by nature, so retrying the
+#: same job can succeed.  Anything else is an exception the job itself
+#: raised, which is deterministic for this codebase's pure-function jobs:
+#: retrying a poison job burns a full backoff ladder per spec for nothing,
+#: so job-raised errors get their own (default fail-fast) budget.
+_INFRASTRUCTURE_ERRORS = (BrokenProcessPool, JobTimeoutError, OSError)
+
+
 class RunFailedError(RuntimeError):
     """One or more jobs failed after exhausting their attempts."""
 
@@ -81,9 +93,14 @@ class RunnerOptions:
     """Scheduling knobs (all per-run, not global state).
 
     ``jobs=0`` means "all cores"; ``jobs=1`` executes in-process with no
-    pool at all (also the degradation target).  ``max_attempts`` counts
-    the first try, so ``2`` means one retry.  Timeouts apply only to
-    pooled execution — an in-process job cannot be killed.
+    pool at all (also the degradation target).  ``max_attempts`` budgets
+    *infrastructure* failures (broken pool, timeout, OS errors) and
+    counts the first try, so ``2`` means one retry;
+    ``job_error_attempts`` budgets exceptions raised by the job function
+    itself — deterministic failures, so the default of 1 fails a poison
+    job fast instead of replaying it through the backoff ladder.
+    Timeouts apply only to pooled execution — an in-process job cannot
+    be killed.
     """
 
     jobs: int = 0
@@ -93,6 +110,7 @@ class RunnerOptions:
     backoff_factor: float = 2.0
     trace_cache_capacity: int = DEFAULT_WORKER_TRACE_CAPACITY
     max_pool_restarts: int = 2
+    job_error_attempts: int = 1
 
     @property
     def effective_jobs(self) -> int:
@@ -188,6 +206,13 @@ class ExperimentRunner:
     def _backoff(self, attempt: int) -> float:
         return self.options.backoff_s * self.options.backoff_factor ** (attempt - 1)
 
+    def _attempt_budget(self, error: BaseException) -> int:
+        """Retry budget for ``error``: infrastructure failures get
+        ``max_attempts``, deterministic job failures ``job_error_attempts``."""
+        if isinstance(error, _INFRASTRUCTURE_ERRORS):
+            return self.options.max_attempts
+        return self.options.job_error_attempts
+
     def _ok_result(
         self, spec: JobSpec, payload: Any, attempt: int, fallback_duration: float
     ) -> JobResult:
@@ -249,7 +274,7 @@ class ExperimentRunner:
                 try:
                     payload = self.job_fn(spec)
                 except Exception as error:  # noqa: BLE001 — jobs may raise anything
-                    if attempt < self.options.max_attempts:
+                    if attempt < self._attempt_budget(error):
                         delay = self._backoff(attempt)
                         self.stats.retried += 1
                         self.reporter.job_retry(spec, attempt, delay)
@@ -302,7 +327,7 @@ class ExperimentRunner:
         retry_heap: List[Tuple[float, int, JobSpec, int]],
         results: Dict[str, JobResult],
     ) -> None:
-        if info.attempt < self.options.max_attempts:
+        if info.attempt < self._attempt_budget(error):
             delay = self._backoff(info.attempt)
             self.stats.retried += 1
             self.reporter.job_retry(info.spec, info.attempt, delay)

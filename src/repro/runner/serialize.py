@@ -37,9 +37,15 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     The multi-device fields are omitted at their defaults (no per-device
     breakdowns, no fabric aggregates), so single-device serialisations
     stay byte-identical to the pre-fabric format — the same documents
-    hash, cache, and diff the same.
+    hash, cache, and diff the same.  ``drop_causes`` follows the same
+    rule: without fault injection every drop is a PTB overflow, so the
+    breakdown is omitted whenever it carries no information beyond
+    ``dropped`` (and reconstructed on load).
     """
     document = dataclasses.asdict(result)
+    _strip_trivial_drop_causes(document["packets"])
+    for entry in document.get("device_results") or []:
+        _strip_trivial_drop_causes(entry["packets"])
     if not document.get("device_results"):
         document.pop("device_results", None)
     if document.get("fabric") is None:
@@ -47,12 +53,28 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     return document
 
 
-def _device_result_from_dict(raw: Dict[str, Any]) -> DeviceResult:
-    packets_raw = dict(raw["packets"])
+def _strip_trivial_drop_causes(packets_raw: Dict[str, Any]) -> None:
+    """Drop a ``drop_causes`` breakdown that only restates ``dropped``."""
+    causes = packets_raw.get("drop_causes")
+    if causes is not None and (
+        not causes or causes == {"ptb_overflow": packets_raw["dropped"]}
+    ):
+        del packets_raw["drop_causes"]
+
+
+def _packets_from_dict(packets_raw: Dict[str, Any]) -> PacketStats:
+    """Rebuild :class:`PacketStats`, restoring an omitted breakdown."""
+    packets_raw = dict(packets_raw)
     packets_raw["per_tenant_processed"] = {
         int(sid): count
         for sid, count in (packets_raw.get("per_tenant_processed") or {}).items()
     }
+    if "drop_causes" not in packets_raw and packets_raw.get("dropped"):
+        packets_raw["drop_causes"] = {"ptb_overflow": packets_raw["dropped"]}
+    return PacketStats(**packets_raw)
+
+
+def _device_result_from_dict(raw: Dict[str, Any]) -> DeviceResult:
     latency_raw = dict(raw["latency"])
     latency_raw["buckets"] = {
         int(bucket): count
@@ -61,7 +83,7 @@ def _device_result_from_dict(raw: Dict[str, Any]) -> DeviceResult:
     latency_raw.setdefault("min_ns", 0.0)
     return DeviceResult(
         device_id=raw["device_id"],
-        packets=PacketStats(**packets_raw),
+        packets=_packets_from_dict(raw["packets"]),
         latency=RequestLatencyStats(**latency_raw),
         ptb=PtbStats(**raw["ptb"]),
         elapsed_ns=raw["elapsed_ns"],
@@ -79,11 +101,6 @@ def _device_result_from_dict(raw: Dict[str, Any]) -> DeviceResult:
 
 def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
     """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` data."""
-    packets_raw = dict(raw["packets"])
-    packets_raw["per_tenant_processed"] = {
-        int(sid): count
-        for sid, count in (packets_raw.get("per_tenant_processed") or {}).items()
-    }
     latency_raw = dict(raw["latency"])
     latency_raw["buckets"] = {
         int(bucket): count
@@ -98,7 +115,7 @@ def result_from_dict(raw: Dict[str, Any]) -> SimulationResult:
         link_bandwidth_gbps=raw["link_bandwidth_gbps"],
         elapsed_ns=raw["elapsed_ns"],
         achieved_bandwidth_gbps=raw["achieved_bandwidth_gbps"],
-        packets=PacketStats(**packets_raw),
+        packets=_packets_from_dict(raw["packets"]),
         latency=RequestLatencyStats(**latency_raw),
         ptb=PtbStats(**raw["ptb"]),
         dram=DramStats(**raw["dram"]),

@@ -47,6 +47,12 @@ class JobSpec:
     warmup_fraction: float = 0.25
     seed: int = 0
     native: bool = False
+    #: Serialised :class:`~repro.faults.plan.FaultPlan` (via
+    #: ``plan_to_dict``) or ``None``.  Part of the content hash when set,
+    #: so a faulted point never shares a cache entry with its fault-free
+    #: twin; omitted from serialisation when ``None`` so every pre-fault
+    #: hash is unchanged.
+    fault_plan: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_point(
@@ -59,8 +65,17 @@ class JobSpec:
         *,
         seed: int = 0,
         native: bool = False,
+        fault_plan=None,
     ) -> "JobSpec":
-        """Build the spec for ``run_point(config, benchmark, ...)``."""
+        """Build the spec for ``run_point(config, benchmark, ...)``.
+
+        ``fault_plan`` accepts a :class:`~repro.faults.plan.FaultPlan`
+        (serialised here) or an already-serialised plan dict.
+        """
+        if fault_plan is not None and not isinstance(fault_plan, dict):
+            from repro.faults.plan import plan_to_dict
+
+            fault_plan = plan_to_dict(fault_plan)
         return cls(
             config=config_to_dict(config),
             benchmark=benchmark,
@@ -71,11 +86,12 @@ class JobSpec:
             warmup_fraction=scale.warmup_fraction,
             seed=seed,
             native=native,
+            fault_plan=fault_plan,
         )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "config": dict(self.config),
             "benchmark": self.benchmark,
             "num_tenants": self.num_tenants,
@@ -86,6 +102,9 @@ class JobSpec:
             "seed": self.seed,
             "native": self.native,
         }
+        if self.fault_plan is not None:
+            document["fault_plan"] = dict(self.fault_plan)
+        return document
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "JobSpec":

@@ -6,10 +6,13 @@ Layout (one directory per run under the runs root, default
     .repro-runs/<run-id>/
         manifest.json    # environment, git state, scale, wall clock, counts
         results.jsonl    # one JobResult per line, appended as jobs finish
+        quarantine.jsonl # corrupt lines recovered from results.jsonl
 
 ``results.jsonl`` is append-only and fsynced per record, so a crash or
-Ctrl-C loses at most the in-flight jobs; a truncated final line (torn
-write) is skipped on load.  Completed jobs are memoized by
+Ctrl-C loses at most the in-flight jobs; corrupt lines (a truncated
+final line from a torn write, garbage bytes mid-file) are quarantined on
+load — the valid records survive, the bad lines move to
+``quarantine.jsonl``, and the affected jobs re-execute on resume.  Completed jobs are memoized by
 :attr:`~repro.runner.spec.JobSpec.spec_hash` — re-running a sweep, or
 resuming a killed run, only executes the missing points.  Failed attempts
 are recorded too (for the audit trail) but never memoized, so a resume
@@ -41,6 +44,7 @@ DEFAULT_RUNS_DIR = ".repro-runs"
 
 RESULTS_FILE = "results.jsonl"
 MANIFEST_FILE = "manifest.json"
+QUARANTINE_FILE = "quarantine.jsonl"
 
 
 def _utc_now() -> str:
@@ -88,6 +92,11 @@ class ResultStore:
             raise FileNotFoundError(f"no such run directory: {self.directory}")
         self._completed: Dict[str, JobResult] = {}
         self._failed_lines = 0
+        #: Records rejected during the last load (line number, reason,
+        #: raw prefix).  Non-empty means the results file was corrupted —
+        #: the bad lines were moved to ``quarantine.jsonl`` and the
+        #: results file rewritten with the surviving records.
+        self.corrupt_records: List[Dict[str, Any]] = []
         self._load()
 
     # ------------------------------------------------------------------
@@ -99,25 +108,70 @@ class ResultStore:
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_FILE
 
+    @property
+    def quarantine_path(self) -> Path:
+        return self.directory / QUARANTINE_FILE
+
     def _load(self) -> None:
+        """Load the results file, recovering from corruption.
+
+        A torn final line (crash mid-append), interleaved garbage bytes
+        (torn page, concurrent writer), or any non-record line is
+        collected into :attr:`corrupt_records`, appended to
+        ``quarantine.jsonl`` for the audit trail, and the results file is
+        atomically rewritten with only the surviving records — which also
+        guarantees the file ends in a complete line, so a later append
+        can never merge into a torn tail.  The affected jobs simply
+        re-execute on resume.
+        """
         path = self.results_path
         if not path.exists():
             return
-        with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = JobResult.from_dict(json.loads(line))
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # Torn write from a crash mid-append: skip, the job
-                    # simply re-executes on resume.
-                    continue
-                if record.ok:
-                    self._completed[record.spec_hash] = record
-                else:
-                    self._failed_lines += 1
+        # Bytes + lossy decode: corruption is not guaranteed to be UTF-8.
+        text = path.read_bytes().decode("utf-8", errors="replace")
+        valid_lines: List[str] = []
+        corrupt: List[Dict[str, Any]] = []
+        for number, line in enumerate(text.split("\n"), start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = JobResult.from_dict(json.loads(stripped))
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                corrupt.append(
+                    {
+                        "line": number,
+                        "reason": f"{type(error).__name__}: {error}",
+                        "raw": stripped[:500],
+                    }
+                )
+                continue
+            valid_lines.append(stripped)
+            if record.ok:
+                self._completed[record.spec_hash] = record
+            else:
+                self._failed_lines += 1
+        self.corrupt_records = corrupt
+        if corrupt:
+            self._quarantine(corrupt, valid_lines)
+
+    def _quarantine(
+        self, corrupt: List[Dict[str, Any]], valid_lines: List[str]
+    ) -> None:
+        """Move corrupt lines aside and rewrite the results file."""
+        with self.quarantine_path.open("a", encoding="utf-8") as handle:
+            stamp = _utc_now()
+            for entry in corrupt:
+                handle.write(
+                    json.dumps({**entry, "quarantined_at": stamp}) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp = self.results_path.with_name(RESULTS_FILE + ".tmp")
+        tmp.write_text(
+            "".join(line + "\n" for line in valid_lines), encoding="utf-8"
+        )
+        os.replace(tmp, self.results_path)
 
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ import time
 from typing import Any, Dict
 
 from repro.analysis import sweeps
+from repro.faults.plan import plan_from_dict
 from repro.runner.serialize import result_to_dict
 from repro.runner.spec import JobSpec
 
@@ -66,6 +67,9 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
     start = time.perf_counter()
     config = spec.arch_config()
     scale = spec.run_scale()
+    fault_plan = None
+    if spec.fault_plan is not None:
+        fault_plan = plan_from_dict(dict(spec.fault_plan))
     point = sweeps.run_point(
         config,
         spec.benchmark,
@@ -74,6 +78,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         scale,
         native=spec.native,
         seed=spec.seed,
+        fault_plan=fault_plan,
     )
     return {
         "result": result_to_dict(point.result),

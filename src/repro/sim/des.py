@@ -241,6 +241,7 @@ def simulate_evented(
     warmup_packets: int = 0,
     telemetry=None,
     observability=None,
+    fault_plan=None,
 ) -> SimulationResult:
     """One-call convenience mirroring :func:`repro.sim.simulator.simulate`."""
     simulator = EventDrivenSimulator(
@@ -249,5 +250,6 @@ def simulate_evented(
         native=native,
         telemetry=telemetry,
         observability=observability,
+        fault_plan=fault_plan,
     )
     return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)

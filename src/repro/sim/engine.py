@@ -85,6 +85,13 @@ class DeviceEngine:
         self.chipset = fabric.chipset
         self.config = sim.config
         self.timing = sim.config.timing
+        #: Shared fault injector (``None`` without a fault plan — the hot
+        #: path then pays a single attribute check, like the obs layer).
+        self._injector = sim._injector
+        # Tenant-wide chipset flushes must also drop this device's
+        # in-flight prefetch installs, or a prefetch issued before the
+        # unmap would re-install the stale translation afterwards.
+        self.chipset.iommu.add_invalidation_listener(self._on_tenant_invalidated)
         # Per-device clock and accounting.
         self.clock = 0.0
         self.last_completion = 0.0
@@ -161,14 +168,21 @@ class DeviceEngine:
         On rejection the drop is accounted and ``next_time`` advances to
         the next arrival slot with a free entry (drop-and-retry,
         Section IV-C); the caller re-dispatches at that time.
+
+        An active fault injector hooks in here, before the PTB check:
+        scheduled storms/resets/leaks due by ``arrival`` are applied at
+        the same global dispatch point in both engines.
         """
+        injector = self._injector
+        if injector is not None and not self._apply_due_faults(injector, arrival):
+            return False
         ptb = self.device.ptb
         if ptb.can_accept(arrival):
             return True
         ptb.reject_packet()
-        self.sim.packet_stats.dropped += 1
+        self.sim.packet_stats.record_drop("ptb_overflow")
         self.sim.packet_stats.retried += 1
-        self.packet_stats.dropped += 1
+        self.packet_stats.record_drop("ptb_overflow")
         self.packet_stats.retried += 1
         if self._trace_packet:
             self.sim._tracer.emit(
@@ -184,6 +198,101 @@ class DeviceEngine:
         self.next_time = arrival + slots * wire_ns
         self.current_is_retry = True
         return False
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _apply_due_faults(self, injector, arrival: float) -> bool:
+        """Apply scheduled faults due by ``arrival``; False drops the packet.
+
+        Storms flush fabric-wide state; a device reset additionally
+        drops the arriving packet (the device path is resetting) and
+        schedules its retry; PTB leaks adjust this device's effective
+        capacity before the admission check.
+        """
+        for storm in injector.due_storms(arrival):
+            self.sim.apply_invalidation_storm(storm, arrival)
+        if injector.due_reset(self.device_id, arrival):
+            self._apply_device_reset(arrival)
+            return False
+        self.device.ptb.set_leak(
+            injector.ptb_leaked_entries(self.device_id, arrival)
+        )
+        return True
+
+    def _apply_device_reset(self, now: float) -> None:
+        """Reset this device path's translation state mid-run.
+
+        DevTLB, prefetch buffer, and in-flight prefetch bookkeeping are
+        flushed and the PTB's in-flight entries are discarded.  Pending
+        install completions are *not* purged here — clearing
+        ``_inflight_prefetches`` makes :meth:`apply_install` skip them,
+        which is the one mechanism that behaves identically for the
+        analytic heap and the event queue's scheduled installs.
+        """
+        device = self.device
+        for key in list(device.devtlb.keys()):
+            device.devtlb.invalidate(key)
+        if device.prefetch_unit is not None:
+            buffer = device.prefetch_unit.buffer
+            for key in list(buffer.keys()):
+                buffer.invalidate(key)
+        self._inflight_prefetches.clear()
+        self._last_predicted_sid = None
+        device.ptb.flush()
+        sim = self.sim
+        sim.packet_stats.record_drop("device_reset")
+        sim.packet_stats.retried += 1
+        self.packet_stats.record_drop("device_reset")
+        self.packet_stats.retried += 1
+        tracer = sim._tracer
+        if tracer is not None:
+            tracer.emit(
+                ev.FAULT_DEVICE_RESET,
+                now,
+                self.current_packet.sid,
+                cause="device_reset",
+                **self._extra,
+            )
+        self.next_time = now + self.wire_time(self.current_packet)
+        self.current_is_retry = True
+
+    def flush_tenant(self, sid: int) -> None:
+        """Flush every device-local cached translation of ``sid``.
+
+        The storm path: the chipset side is flushed by
+        ``Iommu.invalidate_tenant`` (whose listeners purge this engine's
+        in-flight prefetches); entries evicted here count as ATS
+        invalidation messages, like per-page unmaps.
+        """
+        device = self.device
+        flushed = 0
+        for key in list(device.devtlb.keys()):
+            if key[0] == sid:
+                device.devtlb.invalidate(key)
+                flushed += 1
+        if device.prefetch_unit is not None:
+            buffer = device.prefetch_unit.buffer
+            for key in list(buffer.keys()):
+                if key[0] == sid:
+                    buffer.invalidate(key)
+                    flushed += 1
+        self.sim.invalidation_messages += flushed
+        self.invalidation_messages += flushed
+
+    def _on_tenant_invalidated(self, sid: int) -> None:
+        """Drop in-flight prefetch installs for a flushed tenant.
+
+        Without this, a prefetch issued before the tenant-wide unmap
+        would re-install the stale translation when its completion time
+        arrives.  Heap/event entries stay put; :meth:`apply_install`
+        skips any install no longer in ``_inflight_prefetches``.
+        """
+        inflight = self._inflight_prefetches
+        if not inflight:
+            return
+        for key in [key for key in inflight if key[0] == sid]:
+            inflight.discard(key)
 
     # ------------------------------------------------------------------
     # Packet processing
@@ -208,8 +317,6 @@ class DeviceEngine:
         """
         sim = self.sim
         packet = self.current_packet
-        sim.packet_stats.accepted += 1
-        self.packet_stats.accepted += 1
         if self._trace_packet:
             sim._tracer.emit(
                 ev.PACKET_ADMIT,
@@ -227,7 +334,16 @@ class DeviceEngine:
         completion = arrival
         for giova in packet.giovas:
             finished = self.process_request(arrival, packet.sid, giova)
+            if finished is None:
+                # Degraded-mode retries exhausted (fault injection): the
+                # packet is dropped mid-translation — counted by
+                # process_request, never accepted/processed.
+                self.clock = arrival
+                self.last_completion = max(self.last_completion, completion)
+                return completion
             completion = max(completion, finished)
+        sim.packet_stats.accepted += 1
+        self.packet_stats.accepted += 1
         sim.packet_stats.record_processed(packet)
         self.packet_stats.record_processed(packet)
         self.clock = arrival
@@ -235,8 +351,14 @@ class DeviceEngine:
         return completion
 
     # ------------------------------------------------------------------
-    def process_request(self, now: float, sid: int, giova: int) -> float:
-        """Translate one gIOVA; returns its completion time."""
+    def process_request(self, now: float, sid: int, giova: int) -> Optional[float]:
+        """Translate one gIOVA; returns its completion time.
+
+        Returns ``None`` when fault injection made every IOMMU attempt
+        fault and the degraded-mode retry budget
+        (``TimingParams.fault_max_retries``) is exhausted — the caller
+        drops the packet.
+        """
         sim = self.sim
         timing = self.timing
         device = self.device
@@ -283,13 +405,50 @@ class DeviceEngine:
                     )
         if not hit:
             # Miss: cross PCIe, translate at the shared chipset, cross back.
+            injector = self._injector
+            fault_latency = 0.0
+            if injector is not None:
+                # Degraded mode: each faulted IOMMU attempt costs a wasted
+                # PCIe round trip plus capped exponential backoff, charged
+                # to this request; an exhausted budget drops the packet.
+                attempt = 0
+                while injector.translation_fault(now, sid):
+                    if tracer is not None:
+                        tracer.emit(
+                            ev.FAULT_TRANSLATION, now, sid,
+                            page=page, attempt=attempt, **self._extra,
+                        )
+                    if attempt >= timing.fault_max_retries:
+                        sim.packet_stats.record_drop("translation_fault")
+                        self.packet_stats.record_drop("translation_fault")
+                        drop_tracer = sim._tracer
+                        if drop_tracer is not None:
+                            drop_tracer.emit(
+                                ev.FAULT_DROP, now, sid,
+                                cause="translation_fault", page=page,
+                                **self._extra,
+                            )
+                        if sim._metrics is not None:
+                            self._record_fault_drop_metric(sid)
+                        return None
+                    fault_latency += (
+                        2 * timing.pcie_one_way_ns
+                        + timing.fault_backoff_ns * (2.0 ** attempt)
+                    )
+                    attempt += 1
+                latency += fault_latency
             outcome = chipset.iommu.translate(sid, giova)
-            at_chipset = now + timing.pcie_one_way_ns
+            at_chipset = now + fault_latency + timing.pcie_one_way_ns
             start, served = chipset.walker_pool.acquire(
                 at_chipset, outcome.latency_ns
             )
             chipset_time = served - at_chipset
             latency += 2 * timing.pcie_one_way_ns + chipset_time
+            if injector is not None:
+                # Transient latency spikes: per-crossing PCIe and per-walk
+                # DRAM penalties active at this request's issue time.
+                latency += 2 * injector.pcie_extra_ns(now)
+                latency += outcome.memory_accesses * injector.dram_extra_ns(now)
             device.devtlb.insert(key, (outcome.hpa, outcome.page_shift, False))
             if outcome.iotlb_hit:
                 self.iotlb_hits += 1
@@ -367,6 +526,17 @@ class DeviceEngine:
         if counter is None:
             counter = metrics.counter(
                 counter_key[0], structure="devtlb", sid=sid, **self._extra
+            )
+            self._sid_counters[counter_key] = counter
+        counter.inc()
+
+    def _record_fault_drop_metric(self, sid: int) -> None:
+        """Per-SID fault-drop counter (metrics layer on)."""
+        counter_key = ("fault.drop", sid)
+        counter = self._sid_counters.get(counter_key)
+        if counter is None:
+            counter = self.sim._metrics.counter(
+                "fault.drop", cause="translation_fault", sid=sid, **self._extra
             )
             self._sid_counters[counter_key] = counter
         counter.inc()
@@ -479,7 +649,16 @@ class DeviceEngine:
         DevTLB, the latter with prefetch-aware insertion priority and a pin
         so demand-miss bursts cannot evict it before the predicted tenant's
         turn (DESIGN.md calls this install decision out for ablation).
+
+        An install whose ``(sid, page)`` is no longer in flight was
+        invalidated while crossing the fabric (per-page unmap,
+        tenant-wide flush, or device reset) and is skipped — installing
+        it would resurrect a stale translation.  The membership check is
+        the only purge mechanism that treats the analytic engine's heap
+        and the event engine's scheduled installs identically.
         """
+        if (sid, page) not in self._inflight_prefetches:
+            return
         self.device.prefetch_unit.install(sid, page, hpa, page_shift)
         self.device.devtlb.insert(
             (sid, page), (hpa, page_shift, True), priority=1, pinned=True

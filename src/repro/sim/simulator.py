@@ -49,6 +49,8 @@ from repro.core.results import (
     SimulationResult,
 )
 from repro.device.packet import PacketStats
+from repro.faults.injector import FaultInjector
+from repro.obs import events as ev
 from repro.sim.engine import DeviceEngine, PacketRouter
 from repro.sim.oracle import FutureOracle, oracle_for_trace
 from repro.trace.constructor import HyperTrace
@@ -83,12 +85,14 @@ class HyperSimulator:
         native: bool = False,
         telemetry=None,
         observability=None,
+        fault_plan=None,
     ):
         self.config = config
         self.trace = trace
         self.native = native
         self.telemetry = telemetry
         self.observability = observability
+        self.fault_plan = fault_plan
         # Null-object fast path: resolve the three observability layers to
         # attribute-level Nones exactly once, at attach time.
         obs_on = observability is not None and observability.enabled
@@ -120,6 +124,14 @@ class HyperSimulator:
         #: ATS-style invalidation messages sent to the devices (driver
         #: unmap events in the trace).
         self.invalidation_messages = 0
+        #: Seeded fault injector, or ``None`` (the common case) so the
+        #: per-packet hot path pays one attribute check, mirroring the
+        #: observability null-object resolution above.
+        self._injector = (
+            FaultInjector(fault_plan, self.fabric.num_devices)
+            if fault_plan is not None
+            else None
+        )
         self.engines: List[DeviceEngine] = [
             DeviceEngine(self, self.fabric, device_id)
             for device_id in range(self.fabric.num_devices)
@@ -207,6 +219,27 @@ class HyperSimulator:
             measure_from_ns=measure_from_ns,
             measure_from_bytes=measure_from_bytes,
         )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def apply_invalidation_storm(self, storm, now: float) -> None:
+        """Burst unmap of tenant ``storm.sid``: flush it fabric-wide.
+
+        Chipset caches first (``invalidate_tenant`` also notifies the
+        engines to drop the tenant's in-flight prefetch installs), then
+        the IOVA history the prefetcher reads, then every device path's
+        local caches.  Called from the engine dispatch path at the same
+        global ``(time, device)`` point in both simulator engines.
+        """
+        chipset = self.fabric.chipset
+        chipset.iommu.invalidate_tenant(storm.sid)
+        if chipset.iova_history is not None:
+            chipset.iova_history.forget(storm.sid)
+        for engine in self.engines:
+            engine.flush_tenant(storm.sid)
+        if self._tracer is not None:
+            self._tracer.emit(ev.FAULT_STORM, now, storm.sid)
 
     # ------------------------------------------------------------------
     # Result assembly
@@ -379,6 +412,7 @@ def simulate(
     warmup_packets: int = 0,
     telemetry=None,
     observability=None,
+    fault_plan=None,
 ) -> SimulationResult:
     """One-call convenience: build a simulator and run it."""
     simulator = HyperSimulator(
@@ -387,5 +421,6 @@ def simulate(
         native=native,
         telemetry=telemetry,
         observability=observability,
+        fault_plan=fault_plan,
     )
     return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)

@@ -1,0 +1,199 @@
+"""Chaos tests: the runner under killed workers and a torn result store.
+
+``tests/test_faults.py`` proves injected *simulation* faults are
+deterministic; this module attacks the infrastructure around the
+simulator instead.  Worker processes are hard-killed mid-job
+(:func:`repro.faults.chaos.kill_worker_once`) and the persistent result
+store's JSONL file is torn and corrupted the way real crashes tear it.
+The guarantees under test:
+
+* a run whose workers die mid-job still completes (the scheduler
+  retries infrastructure failures and restarts the pool);
+* a *poison* job — one that deterministically raises — fails fast
+  instead of burning the retry budget;
+* a corrupt ``results.jsonl`` degrades to its valid prefix: bad records
+  are quarantined with line numbers, the store keeps every record before
+  (and after) the damage, and subsequent appends/reloads are clean.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import chaos
+from repro.runner import (
+    ExperimentRunner,
+    JobResult,
+    ResultStore,
+    RunnerOptions,
+)
+
+from tests import runner_stubs
+from tests.test_runner import make_spec
+
+
+@pytest.fixture
+def chaos_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "chaos-markers"
+    directory.mkdir()
+    monkeypatch.setenv(chaos.CHAOS_DIR_ENV, str(directory))
+    return directory
+
+
+# ----------------------------------------------------------------------
+# Killed workers
+# ----------------------------------------------------------------------
+
+class TestKilledWorkers:
+    def test_run_completes_after_worker_kills(self, chaos_dir, tmp_path):
+        specs = [make_spec(seed=1), make_spec(seed=2)]
+        store = ResultStore(tmp_path / "runs", "chaos")
+        runner = ExperimentRunner(
+            store=store,
+            options=RunnerOptions(
+                jobs=2, max_attempts=3, max_pool_restarts=8, backoff_s=0.01
+            ),
+            job_fn=chaos.kill_worker_once,
+        )
+        results = runner.run(specs)
+        assert all(result.ok for result in results)
+        # Every spec's first attempt died with the worker.
+        markers = sorted(p.name for p in chaos_dir.iterdir())
+        assert markers == sorted(
+            f"killed-{spec.spec_hash}" for spec in specs
+        )
+        assert runner.stats.retried >= len(specs)
+        # Completions were persisted despite the carnage.
+        reloaded = ResultStore(tmp_path / "runs", "chaos")
+        assert reloaded.completed_count == len(specs)
+        assert not reloaded.corrupt_records
+
+    def test_kill_refuses_to_take_down_orchestrator(self, chaos_dir):
+        with pytest.raises(chaos.ChaosConfigError, match="refusing"):
+            chaos.kill_worker_once(make_spec(seed=9))
+
+    def test_kill_requires_marker_directory(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_DIR_ENV, raising=False)
+        with pytest.raises(chaos.ChaosConfigError, match=chaos.CHAOS_DIR_ENV):
+            chaos.kill_worker_once(make_spec(seed=9))
+
+
+# ----------------------------------------------------------------------
+# Poison jobs fail fast; infrastructure failures keep their budget
+# ----------------------------------------------------------------------
+
+class TestPoisonJobs:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_deterministic_failure_fails_fast(self, jobs):
+        runner = ExperimentRunner(
+            options=RunnerOptions(jobs=jobs, max_attempts=3, backoff_s=0.01),
+            job_fn=runner_stubs.failing_job,
+        )
+        result = runner.run([make_spec(seed=4)])[0]
+        assert result.status == "failed"
+        assert result.attempts == 1
+        assert runner.stats.retried == 0
+
+    def test_job_error_attempts_raises_the_budget(self):
+        runner = ExperimentRunner(
+            options=RunnerOptions(
+                jobs=1, max_attempts=1, job_error_attempts=3, backoff_s=0.01
+            ),
+            job_fn=runner_stubs.failing_job,
+        )
+        result = runner.run([make_spec(seed=4)])[0]
+        assert result.status == "failed"
+        assert result.attempts == 3
+        assert runner.stats.retried == 2
+
+
+# ----------------------------------------------------------------------
+# Result-store corruption recovery
+# ----------------------------------------------------------------------
+
+def _ok_record(seed):
+    spec = make_spec(seed=seed)
+    return JobResult(
+        spec_hash=spec.spec_hash,
+        status="ok",
+        spec=spec.to_dict(),
+        result={"seed": seed},
+    )
+
+
+def _store_with_records(tmp_path, seeds):
+    store = ResultStore(tmp_path / "runs", "torn")
+    for seed in seeds:
+        store.record(_ok_record(seed))
+    return store
+
+
+class TestStoreCorruptionRecovery:
+    def test_truncated_last_line_recovers_valid_prefix(self, tmp_path):
+        store = _store_with_records(tmp_path, [1, 2, 3])
+        removed = chaos.truncate_last_line(store.results_path)
+        assert removed > 0
+
+        recovered = ResultStore(tmp_path / "runs", "torn")
+        assert recovered.completed_count == 2
+        assert len(recovered.corrupt_records) == 1
+        assert recovered.corrupt_records[0]["line"] == 3
+        # The quarantine report names the damage.
+        entries = [
+            json.loads(line)
+            for line in recovered.quarantine_path.read_text().splitlines()
+        ]
+        assert len(entries) == 1
+        assert entries[0]["line"] == 3
+        assert entries[0]["raw"]
+
+        # The rewritten file is clean: appends and reloads work.
+        recovered.record(_ok_record(4))
+        final = ResultStore(tmp_path / "runs", "torn")
+        assert final.completed_count == 3
+        assert not final.corrupt_records
+
+    def test_garbage_mid_file_keeps_records_on_both_sides(self, tmp_path):
+        store = _store_with_records(tmp_path, [1, 2])
+        chaos.insert_garbage_line(store.results_path, after_line=1)
+
+        recovered = ResultStore(tmp_path / "runs", "torn")
+        assert recovered.completed_count == 2
+        assert len(recovered.corrupt_records) == 1
+        assert recovered.corrupt_records[0]["line"] == 2
+        # Both real records survive on either side of the garbage.
+        hashes = {r.spec_hash for r in recovered.iter_completed()}
+        assert hashes == {make_spec(seed=1).spec_hash,
+                          make_spec(seed=2).spec_hash}
+
+    def test_empty_results_file_is_not_corruption(self, tmp_path):
+        store = _store_with_records(tmp_path, [])
+        store.results_path.write_text("", encoding="utf-8")
+        recovered = ResultStore(tmp_path / "runs", "torn")
+        assert recovered.completed_count == 0
+        assert not recovered.corrupt_records
+        assert not recovered.quarantine_path.exists()
+
+    def test_resume_after_truncation_reexecutes_only_the_torn_job(
+        self, tmp_path
+    ):
+        specs = [make_spec(seed=1), make_spec(seed=2), make_spec(seed=3)]
+        store = ResultStore(tmp_path / "runs", "resume")
+        runner = ExperimentRunner(
+            store=store, options=RunnerOptions(jobs=1),
+            job_fn=runner_stubs.ok_job,
+        )
+        assert all(r.ok for r in runner.run(specs))
+        chaos.truncate_last_line(store.results_path)
+
+        resumed_store = ResultStore(tmp_path / "runs", "resume")
+        assert resumed_store.completed_count == 2
+        runner = ExperimentRunner(
+            store=resumed_store, options=RunnerOptions(jobs=1),
+            job_fn=runner_stubs.ok_job,
+        )
+        results = runner.run(specs)
+        assert all(r.ok for r in results)
+        assert runner.stats.cached == 2
+        assert runner.stats.executed == 1
+        assert ResultStore(tmp_path / "runs", "resume").completed_count == 3

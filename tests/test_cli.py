@@ -115,7 +115,7 @@ class TestCommands:
         calls = []
 
         def fake_run_point(config, benchmark, count, interleaving, scale,
-                           native=False, seed=0):
+                           native=False, seed=0, fault_plan=None):
             calls.append({"seed": seed, "max_packets": scale.max_packets})
             return types.SimpleNamespace(utilization_percent=50.0)
 
@@ -134,7 +134,7 @@ class TestCommands:
         calls = []
 
         def fake_run_point(config, benchmark, count, interleaving, scale,
-                           native=False, seed=0):
+                           native=False, seed=0, fault_plan=None):
             calls.append(scale.max_packets)
             return types.SimpleNamespace(utilization_percent=50.0)
 

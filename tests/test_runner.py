@@ -212,7 +212,9 @@ class TestRetryAndTimeout:
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_retry_then_fail_surfaces_worker_exception(self, jobs):
         runner = ExperimentRunner(
-            options=RunnerOptions(jobs=jobs, max_attempts=3, backoff_s=0.01),
+            options=RunnerOptions(
+                jobs=jobs, max_attempts=3, job_error_attempts=3, backoff_s=0.01
+            ),
             job_fn=runner_stubs.failing_job,
         )
         result = runner.run([make_spec(seed=5)])[0]
@@ -229,7 +231,9 @@ class TestRetryAndTimeout:
         marker = tmp_path / f"marker-{jobs}"
         spec = make_spec(seed=1, marker=str(marker))
         runner = ExperimentRunner(
-            options=RunnerOptions(jobs=jobs, max_attempts=2, backoff_s=0.01),
+            options=RunnerOptions(
+                jobs=jobs, max_attempts=2, job_error_attempts=2, backoff_s=0.01
+            ),
             job_fn=runner_stubs.fail_once_job,
         )
         result = runner.run([spec])[0]
