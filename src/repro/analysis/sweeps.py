@@ -204,6 +204,11 @@ def run_point(
     telemetry=None,
     observability=None,
     fault_plan=None,
+    trace=None,
+    checkpoint_every: int = 0,
+    checkpoint_path=None,
+    checkpoint_hook=None,
+    resume_from=None,
 ) -> SweepPoint:
     """Simulate one sweep point at the given scale.
 
@@ -212,6 +217,14 @@ def run_point(
     ignore them).  ``fault_plan`` runs the point under fault injection
     (see :mod:`repro.faults`); it is part of the point's identity for
     orchestration hooks.
+
+    ``trace`` substitutes an externally supplied
+    :class:`~repro.trace.constructor.HyperTrace` for the synthesized one
+    (the CLI's ``--trace-file`` path); the benchmark/tenant coordinates
+    then only label the point.  The ``checkpoint_*`` / ``resume_from``
+    knobs plumb straight into :func:`repro.sim.simulator.simulate` —
+    ``resume_from`` restores a mid-run snapshot (no trace is synthesized
+    at all; the snapshot carries its own state).
     """
     if _point_hook is not None:
         result = _point_hook(
@@ -232,7 +245,26 @@ def run_point(
                 interleaving=interleaving,
                 result=result,
             )
-    trace = cached_trace(benchmark, num_tenants, interleaving, scale, seed=seed)
+    if resume_from is not None:
+        # The snapshot carries the full trace and loop state; nothing to
+        # synthesize.  The config is still cross-checked inside simulate.
+        result = simulate(
+            config,
+            trace=None,
+            resume_from=resume_from,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            checkpoint_hook=checkpoint_hook,
+        )
+        return SweepPoint(
+            config_name=config.name,
+            benchmark=benchmark,
+            num_tenants=num_tenants,
+            interleaving=interleaving,
+            result=result,
+        )
+    if trace is None:
+        trace = cached_trace(benchmark, num_tenants, interleaving, scale, seed=seed)
     warmup = scale.warmup_for(len(trace.packets))
     result = simulate(
         config,
@@ -242,6 +274,9 @@ def run_point(
         telemetry=telemetry,
         observability=observability,
         fault_plan=fault_plan,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_hook=checkpoint_hook,
     )
     return SweepPoint(
         config_name=config.name,

@@ -45,6 +45,15 @@ def default_indexer(key: Hashable, num_sets: int) -> int:
     return hash(key) % num_sets
 
 
+def single_set_indexer(key: Hashable, num_sets: int) -> int:
+    """Indexer for fully associative caches: everything lives in set 0.
+
+    A module-level function (not a lambda) so cache instances stay
+    picklable — simulation checkpoints snapshot live cache objects.
+    """
+    return 0
+
+
 class SetAssociativeCache(TranslationCache):
     """An ``num_sets`` x ``ways`` cache.
 
@@ -228,6 +237,6 @@ class FullyAssociativeCache(SetAssociativeCache):
             ways=num_entries,
             policy=policy,
             name=name,
-            indexer=lambda key, num_sets: 0,
+            indexer=single_set_indexer,
             next_use=next_use,
         )

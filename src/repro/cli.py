@@ -100,15 +100,120 @@ def _add_common_workload_args(
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = construct_trace(
-        profile_by_name(args.benchmark),
-        num_tenants=args.tenants,
-        packets_per_tenant=200_000,
-        interleaving=args.interleaving,
-        seed=args.seed,
-        max_packets=args.packets,
+def _add_trace_file_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="replace the constructed packet stream with a JSON-lines "
+             "trace file (see repro.trace.records); tenant systems are "
+             "still built from --benchmark/--tenants, and the file is "
+             "validated against them before simulation",
     )
+    parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip trace validation for --trace-file (faster, but bad "
+             "SIDs or unmapped gIOVAs will surface as simulation faults)",
+    )
+
+
+def _apply_trace_file(
+    trace,
+    trace_file: str,
+    no_validate: bool,
+    max_packets: Optional[int] = None,
+):
+    """Substitute packets from ``trace_file`` into a constructed trace.
+
+    The constructed trace supplies the tenant systems (page tables, SID
+    registry); the file supplies the packet stream.  Unless disabled, the
+    combined trace is validated — unknown SIDs, gIOVAs that fault on the
+    tenant's page tables, and implausible sizes are reported with packet
+    indices.  Returns the patched :class:`HyperTrace`, or ``None`` after
+    printing actionable errors to stderr.
+    """
+    from repro.trace.records import compute_trace_stats, load_trace
+
+    try:
+        packets = load_trace(Path(trace_file))
+    except OSError as error:
+        print(f"cannot read trace file {trace_file}: {error}", file=sys.stderr)
+        return None
+    except (ValueError, KeyError, TypeError) as error:
+        print(
+            f"malformed trace file {trace_file}: {error} "
+            f"(expected one JSON packet record per line, e.g. "
+            f'{{"sid": 0, "giovas": [a, b, c], "size": 1542}})',
+            file=sys.stderr,
+        )
+        return None
+    if not packets:
+        print(f"trace file {trace_file} contains no packets", file=sys.stderr)
+        return None
+    if max_packets is not None:
+        packets = packets[:max_packets]
+    trace = dataclasses.replace(
+        trace, packets=packets, stats=compute_trace_stats(packets)
+    )
+    if not no_validate:
+        from repro.trace.validate import validate_trace
+
+        report = validate_trace(trace)
+        if not report.ok:
+            print(
+                f"trace file {trace_file} failed validation with "
+                f"{len(report.errors)} error(s) "
+                f"(--no-validate to run anyway):",
+                file=sys.stderr,
+            )
+            for line in report.errors[:10]:
+                print(f"  {line}", file=sys.stderr)
+            if len(report.errors) > 10:
+                print(
+                    f"  ... (+{len(report.errors) - 10} more)",
+                    file=sys.stderr,
+                )
+            return None
+    return trace
+
+
+def _print_fabric_summary(result) -> None:
+    if not result.device_results:
+        return
+    fabric = result.fabric
+    print(
+        f"  fabric: {fabric.num_devices} devices ({fabric.sid_map}), "
+        f"walker mean queue delay "
+        f"{fabric.walker_mean_queue_delay_ns:.1f} ns "
+        f"over {fabric.walker_jobs} walks"
+    )
+    for dev in result.device_results:
+        print(
+            f"  dev{dev.device_id}: "
+            f"{dev.achieved_bandwidth_gbps:7.1f} Gb/s, "
+            f"accepted {dev.packets.accepted}, "
+            f"drops {dev.packets.dropped}, "
+            f"devtlb hit {dev.cache_stats['devtlb'].hit_rate * 100:5.1f}%, "
+            f"iotlb hit {dev.iotlb_hit_rate * 100:5.1f}%"
+        )
+
+
+def _simulate_checkpoint_plan(args: argparse.Namespace):
+    """Resolve ``--checkpoint-dir``/``--checkpoint-every`` into
+    ``(every, path)``; ``(0, None)`` when checkpointing is off."""
+    every = args.checkpoint_every
+    if args.checkpoint_dir and every == 0:
+        every = 5000
+    if every <= 0:
+        return 0, None
+    directory = Path(args.checkpoint_dir or ".")
+    directory.mkdir(parents=True, exist_ok=True)
+    name = (
+        f"simulate-{args.benchmark}-{args.tenants}t-"
+        f"{args.interleaving}-s{args.seed}.ckpt"
+    )
+    return every, directory / name
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.config_file:
         from repro.core.config_io import load_config
 
@@ -119,6 +224,72 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = config.with_overrides(
             devices=_parse_device_config(args.devices, args.sid_map)
         )
+    checkpoint_every, checkpoint_path = _simulate_checkpoint_plan(args)
+
+    if args.resume_from:
+        # The checkpoint carries the full engine state — trace, faults,
+        # and observability included — so flags that would rebuild any of
+        # those cannot apply to a resumed run.
+        for flag, name in (
+            (args.trace_file, "--trace-file"),
+            (args.trace_out, "--trace-out"),
+            (args.metrics_out, "--metrics-out"),
+            (args.fault_plan, "--fault-plan"),
+        ):
+            if flag:
+                print(
+                    f"{name} cannot be combined with --resume-from: the "
+                    f"checkpoint already carries that state",
+                    file=sys.stderr,
+                )
+                return 2
+        from repro.sim.checkpoint import (
+            CheckpointError,
+            SimulationInterrupted,
+            install_signal_handlers,
+        )
+        from repro.sim.simulator import simulate
+
+        install_signal_handlers()
+        try:
+            result = simulate(
+                config,
+                None,
+                resume_from=args.resume_from,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+            )
+        except CheckpointError as error:
+            print(
+                f"cannot resume from {args.resume_from}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        except SimulationInterrupted as stop:
+            print(
+                f"interrupted at {stop.packets_done} packets; resume with "
+                f"--resume-from {stop.checkpoint_path}",
+                file=sys.stderr,
+            )
+            return 130
+        print(result.summary())
+        _print_fabric_summary(result)
+        return 0
+
+    trace = construct_trace(
+        profile_by_name(args.benchmark),
+        num_tenants=args.tenants,
+        packets_per_tenant=200_000,
+        interleaving=args.interleaving,
+        seed=args.seed,
+        max_packets=args.packets,
+    )
+    if args.trace_file:
+        trace = _apply_trace_file(
+            trace, args.trace_file, args.no_validate, max_packets=args.packets
+        )
+        if trace is None:
+            return 2
     fault_plan = None
     if args.fault_plan:
         from repro.faults import FaultPlanFormatError, load_plan
@@ -138,9 +309,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
         else:
             observability = Observability.metrics_only()
-    result = HyperSimulator(
+    simulator = HyperSimulator(
         config, trace, observability=observability, fault_plan=fault_plan
-    ).run(warmup_packets=len(trace.packets) // 4)
+    )
+    if checkpoint_path is not None:
+        from repro.sim.checkpoint import (
+            SimulationInterrupted,
+            install_signal_handlers,
+        )
+
+        install_signal_handlers()
+        try:
+            result = simulator.run(
+                warmup_packets=len(trace.packets) // 4,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+            )
+        except SimulationInterrupted as stop:
+            print(
+                f"interrupted at {stop.packets_done} packets; resume with "
+                f"--resume-from {stop.checkpoint_path}",
+                file=sys.stderr,
+            )
+            return 130
+    else:
+        result = simulator.run(warmup_packets=len(trace.packets) // 4)
     print(result.summary())
     if fault_plan is not None:
         causes = result.packets.drop_causes
@@ -148,23 +341,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{cause}={causes[cause]}" for cause in sorted(causes)
         ) or "none"
         print(f"  faults (seed {fault_plan.seed}): drops by cause: {detail}")
-    if result.device_results:
-        fabric = result.fabric
-        print(
-            f"  fabric: {fabric.num_devices} devices ({fabric.sid_map}), "
-            f"walker mean queue delay "
-            f"{fabric.walker_mean_queue_delay_ns:.1f} ns "
-            f"over {fabric.walker_jobs} walks"
-        )
-        for dev in result.device_results:
-            print(
-                f"  dev{dev.device_id}: "
-                f"{dev.achieved_bandwidth_gbps:7.1f} Gb/s, "
-                f"accepted {dev.packets.accepted}, "
-                f"drops {dev.packets.dropped}, "
-                f"devtlb hit {dev.cache_stats['devtlb'].hit_rate * 100:5.1f}%, "
-                f"iotlb hit {dev.iotlb_hit_rate * 100:5.1f}%"
-            )
+    _print_fabric_summary(result)
     if args.trace_out:
         from repro.obs.export import write_trace
 
@@ -203,6 +380,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     columns = {}
     metric_points = []
     for count in counts:
+        trace_override = None
+        if args.trace_file:
+            from repro.analysis.sweeps import cached_trace
+
+            constructed = cached_trace(
+                args.benchmark, count, args.interleaving, scale, seed=args.seed
+            )
+            trace_override = _apply_trace_file(
+                constructed, args.trace_file, args.no_validate,
+                max_packets=scale.packets_for(count),
+            )
+            if trace_override is None:
+                return 2
         for name, factory in (("Base", base_config), ("HyperTRIO", hypertrio_config)):
             for num_devices in device_counts:
                 for fault_rate in fault_rates:
@@ -224,9 +414,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                     TranslationFaultSpec(probability=fault_rate),
                                 ),
                             )
+                    trace_kwargs = (
+                        {"trace": trace_override}
+                        if trace_override is not None
+                        else {}
+                    )
                     point = run_point(
                         config, args.benchmark, count, args.interleaving, scale,
-                        seed=args.seed, fault_plan=fault_plan,
+                        seed=args.seed, fault_plan=fault_plan, **trace_kwargs,
                     )
                     columns.setdefault(label, []).append(point.utilization_percent)
                     print(
@@ -320,6 +515,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ResultStore,
         RunFailedError,
         RunnerOptions,
+        SupervisionOptions,
     )
 
     if args.scale:
@@ -348,14 +544,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         max_attempts=args.retries + 1,
     )
+    supervision = SupervisionOptions(
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        deadline_s=args.deadline,
+        memory_budget_kb=(
+            args.memory_budget_mb * 1024 if args.memory_budget_mb else None
+        ),
+    )
     reporter = ProgressReporter(stream=sys.stderr, enabled=not args.no_progress)
-    runner = ExperimentRunner(store=store, options=options, reporter=reporter)
+    runner = ExperimentRunner(
+        store=store, options=options, reporter=reporter, supervision=supervision
+    )
     try:
         table = run_driver(args.experiment, scale=scale, runner=runner)
+    except KeyboardInterrupt:
+        stats = runner.stats
+        store.write_manifest(
+            wall_clock_s=stats.wall_clock_s,
+            status="interrupted",
+            jobs=stats.as_dict(),
+            supervision=store.supervision_summary(),
+        )
+        print(
+            f"run {run_id} interrupted; 'repro-sim run --experiment "
+            f"{args.experiment} --resume {run_id}' continues it "
+            f"(mid-simulation, from the per-job checkpoints)",
+            file=sys.stderr,
+        )
+        return 130
     except RunFailedError as error:
         stats = runner.stats
         store.write_manifest(
-            wall_clock_s=stats.wall_clock_s, status="failed", jobs=stats.as_dict()
+            wall_clock_s=stats.wall_clock_s, status="failed",
+            jobs=stats.as_dict(), supervision=store.supervision_summary(),
         )
         print(f"run {run_id} failed: {error}", file=sys.stderr)
         return 1
@@ -363,12 +585,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store.write_manifest(
         wall_clock_s=stats.wall_clock_s, status="ok", jobs=stats.as_dict(),
         metrics=store.metrics_summary(),
+        supervision=store.supervision_summary(),
     )
     print(table.render())
+    interrupted_text = (
+        f"{stats.interrupted} interrupted, " if stats.interrupted else ""
+    )
     print(
         f"[run {run_id}] {stats.total} jobs: {stats.executed} executed, "
-        f"{stats.cached} cached, {stats.failed} failed in "
-        f"{stats.wall_clock_s:.1f}s -> {store.directory}"
+        f"{stats.cached} cached, {stats.failed} failed, {interrupted_text}"
+        f"in {stats.wall_clock_s:.1f}s -> {store.directory}"
     )
     return 0
 
@@ -543,6 +769,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults from a FaultPlan JSON file (see repro.faults); "
              "runs are bit-reproducible for a given plan seed",
     )
+    _add_trace_file_args(simulate)
+    simulate.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe checkpoints into DIR (enables checkpointing "
+             "every 5000 packets unless --checkpoint-every says otherwise); "
+             "SIGINT/SIGTERM flush a final checkpoint before exiting",
+    )
+    simulate.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="packets between checkpoints (0 = off unless --checkpoint-dir "
+             "is given); a resumed run is byte-identical to an "
+             "uninterrupted one",
+    )
+    simulate.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="restore a checkpoint file and run it to completion "
+             "(workload/trace flags are ignored: the checkpoint carries "
+             "the full engine state)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = subparsers.add_parser("sweep", help="Base vs HyperTRIO tenant sweep")
@@ -571,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated translation-fault probabilities to sweep "
              "(e.g. 0,0.01,0.05); each point runs under a seeded FaultPlan",
     )
+    _add_trace_file_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     characterize = subparsers.add_parser(
@@ -633,6 +879,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--no-progress", action="store_true",
         help="suppress progress/telemetry lines on stderr",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=5000, metavar="N",
+        help="packets between worker checkpoints (0 = off; default: 5000); "
+             "interrupted or killed jobs resume mid-simulation from the "
+             "last checkpoint on 'run --resume'",
+    )
+    run.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog: kill and requeue a worker whose heartbeat is older "
+             "than this (detects silently hung workers; default: off)",
+    )
+    run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog: per-job wall-clock deadline; jobs over it are "
+             "killed and requeued under the retry budget (default: off)",
+    )
+    run.add_argument(
+        "--memory-budget-mb", type=int, default=None, metavar="MB",
+        help="watchdog: soft per-worker RSS budget; jobs over it are "
+             "killed and requeued under the retry budget (default: off)",
     )
     run.set_defaults(func=_cmd_run)
 

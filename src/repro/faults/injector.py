@@ -53,6 +53,17 @@ class FaultInjector:
         self._has_spikes = bool(self._latency_spikes)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def rng_state(self):
+        """The RNG's internal state (snapshotted by simulation checkpoints)."""
+        return self.rng.getstate()
+
+    def set_rng_state(self, state) -> None:
+        """Restore an :meth:`rng_state` snapshot, bit-exactly."""
+        self.rng.setstate(state)
+
+    # ------------------------------------------------------------------
     # Stochastic faults
     # ------------------------------------------------------------------
     def translation_fault(self, now: float, sid: int) -> bool:

@@ -66,6 +66,15 @@ class ContextEntry:
     root_table_hpa: int
 
 
+def _sid_indexer(key: int, num_sets: int) -> int:
+    """SIDs are dense small integers, so plain modulo spreads them evenly.
+
+    Module-level (not a lambda) so the cache stays picklable for
+    simulation checkpoints.
+    """
+    return key % num_sets
+
+
 class ContextCache:
     """Cache of SID -> :class:`ContextEntry` lookups.
 
@@ -78,7 +87,7 @@ class ContextCache:
         self._table: Dict[int, ContextEntry] = {}
         self._cache = SetAssociativeCache(
             num_entries=num_entries, ways=ways, policy=policy, name="context-cache",
-            indexer=lambda key, num_sets: key % num_sets,
+            indexer=_sid_indexer,
         )
 
     def register(self, sid: int, entry: ContextEntry) -> None:

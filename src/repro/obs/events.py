@@ -68,6 +68,16 @@ FAULT_DROP = "fault.drop"
 FAULT_DEVICE_RESET = "fault.device_reset"
 FAULT_STORM = "fault.invalidation_storm"
 
+# Checkpoint / restore (emitted only when checkpointing is enabled) ----
+CHECKPOINT_SAVE = "checkpoint.save"
+CHECKPOINT_RESUME = "checkpoint.resume"
+
+# Runner supervision (emitted through the runner's progress stream) ----
+WATCHDOG_STALE = "watchdog.stale"
+WATCHDOG_DEADLINE = "watchdog.deadline"
+WATCHDOG_MEMORY = "watchdog.memory"
+WATCHDOG_KILL = "watchdog.kill"
+
 #: Every kind the simulator may emit (exporters and tests validate
 #: against this set).
 ALL_EVENT_KINDS = frozenset(
@@ -93,6 +103,12 @@ ALL_EVENT_KINDS = frozenset(
         FAULT_DROP,
         FAULT_DEVICE_RESET,
         FAULT_STORM,
+        CHECKPOINT_SAVE,
+        CHECKPOINT_RESUME,
+        WATCHDOG_STALE,
+        WATCHDOG_DEADLINE,
+        WATCHDOG_MEMORY,
+        WATCHDOG_KILL,
     }
 )
 

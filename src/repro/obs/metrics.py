@@ -249,6 +249,19 @@ def _sid_of(key: Hashable) -> Optional[int]:
     return None
 
 
+class _EvictionListener:
+    """Picklable per-cache eviction callback bound to an attribution."""
+
+    __slots__ = ("attribution", "cache_name")
+
+    def __init__(self, attribution: "EvictionAttribution", cache_name: str):
+        self.attribution = attribution
+        self.cache_name = cache_name
+
+    def __call__(self, inserted_key: Hashable, victim_key: Hashable) -> None:
+        self.attribution.record(self.cache_name, inserted_key, victim_key)
+
+
 class EvictionAttribution:
     """Per-cache counts of which tenant evicted which tenant's entry.
 
@@ -264,12 +277,12 @@ class EvictionAttribution:
         self.pairs: Dict[str, Dict[Tuple[int, int], int]] = {}
 
     def listener_for(self, cache_name: str) -> Callable[[Hashable, Hashable], None]:
-        """A listener closure suitable for ``cache.eviction_listener``."""
+        """A listener suitable for ``cache.eviction_listener``.
 
-        def on_eviction(inserted_key: Hashable, victim_key: Hashable) -> None:
-            self.record(cache_name, inserted_key, victim_key)
-
-        return on_eviction
+        A named callable rather than a closure so listeners installed on
+        caches pickle with the rest of the simulator (checkpointing).
+        """
+        return _EvictionListener(self, cache_name)
 
     def record(
         self, cache_name: str, inserted_key: Hashable, victim_key: Hashable

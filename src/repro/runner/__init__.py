@@ -24,6 +24,8 @@ Modules:
   trace-cache priming
 * :mod:`repro.runner.progress` — jobs done/failed/cached, ETA, per-worker
   throughput telemetry
+* :mod:`repro.runner.supervise` — worker heartbeats, the scheduler-side
+  watchdog, and the interrupt/checkpoint supervision plumbing
 * :mod:`repro.runner.orchestrate` — plan/execute/replay bridge that runs
   unmodified experiment drivers in parallel
 """
@@ -40,7 +42,19 @@ from repro.runner.scheduler import (
 from repro.runner.serialize import result_from_dict, result_to_dict
 from repro.runner.spec import JobResult, JobSpec
 from repro.runner.store import DEFAULT_RUNS_DIR, ResultStore, list_runs
-from repro.runner.worker import execute_job, pool_initializer
+from repro.runner.supervise import (
+    JobInterrupted,
+    SupervisionOptions,
+    Watchdog,
+    WatchdogError,
+    list_heartbeats,
+    read_heartbeat,
+)
+from repro.runner.worker import (
+    execute_job,
+    execute_job_supervised,
+    pool_initializer,
+)
 
 __all__ = [
     "JobSpec",
@@ -54,11 +68,18 @@ __all__ = [
     "DEFAULT_RUNS_DIR",
     "list_runs",
     "ProgressReporter",
+    "SupervisionOptions",
+    "Watchdog",
+    "WatchdogError",
+    "JobInterrupted",
+    "list_heartbeats",
+    "read_heartbeat",
     "plan_driver",
     "run_experiment",
     "run_sweep",
     "result_to_dict",
     "result_from_dict",
     "execute_job",
+    "execute_job_supervised",
     "pool_initializer",
 ]

@@ -43,6 +43,7 @@ class ProgressReporter:
         self.cached = 0
         self.done = 0
         self.failed = 0
+        self.interrupted = 0
         self.retried = 0
         self._started_at = 0.0
         self._last_print = 0.0
@@ -64,6 +65,7 @@ class ProgressReporter:
         self.cached = cached
         self.done = 0
         self.failed = 0
+        self.interrupted = 0
         self.retried = 0
         self._started_at = time.monotonic()
         self._workers.clear()
@@ -85,9 +87,20 @@ class ProgressReporter:
 
     def job_failed(self, result: JobResult) -> None:
         self.failed += 1
+        cause = f" [{result.exit_cause}]" if result.exit_cause else ""
         self._emit(
             f"[runner] job {result.spec_hash} FAILED after "
-            f"{result.attempts} attempt(s): {result.error}",
+            f"{result.attempts} attempt(s){cause}: {result.error}",
+            force=True,
+        )
+
+    def job_interrupted(self, result: JobResult) -> None:
+        """An interrupted job — distinct from a failure: it left a
+        checkpoint behind and a resumed run continues it mid-simulation."""
+        self.interrupted += 1
+        self._emit(
+            f"[runner] job {result.spec_hash} interrupted "
+            f"(checkpoint kept; 'run --resume' continues it)",
             force=True,
         )
 
@@ -132,9 +145,14 @@ class ProgressReporter:
         if not self.enabled:
             return
         cache = self.aggregated_trace_cache()
+        interrupted = getattr(stats, "interrupted", 0)
+        interrupted_text = (
+            f"{interrupted} interrupted, " if interrupted else ""
+        )
         lines = [
             f"[runner] finished: {stats.executed} executed, "
             f"{stats.cached} cached, {stats.failed} failed, "
+            f"{interrupted_text}"
             f"{stats.retried} retries in {stats.wall_clock_s:.1f}s"
         ]
         if cache["hits"] or cache["misses"]:

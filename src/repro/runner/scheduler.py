@@ -30,6 +30,7 @@ starts when it genuinely starts running, not while queued behind others.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import heapq
 import itertools
 import os
@@ -54,9 +55,18 @@ from typing import (
 from repro.runner.progress import ProgressReporter
 from repro.runner.spec import JobResult, JobSpec
 from repro.runner.store import ResultStore
+from repro.runner.supervise import (
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    JobInterrupted,
+    SupervisionOptions,
+    Watchdog,
+    WatchdogError,
+)
 from repro.runner.worker import (
     DEFAULT_WORKER_TRACE_CAPACITY,
     execute_job,
+    execute_job_supervised,
     pool_initializer,
 )
 
@@ -66,12 +76,21 @@ class JobTimeoutError(RuntimeError):
 
 
 #: Failures of the execution *infrastructure* (a worker died, a job timed
-#: out, the OS refused resources) — transient by nature, so retrying the
-#: same job can succeed.  Anything else is an exception the job itself
-#: raised, which is deterministic for this codebase's pure-function jobs:
-#: retrying a poison job burns a full backoff ladder per spec for nothing,
-#: so job-raised errors get their own (default fail-fast) budget.
-_INFRASTRUCTURE_ERRORS = (BrokenProcessPool, JobTimeoutError, OSError)
+#: out, the watchdog killed the worker, the OS refused resources) —
+#: transient by nature, so retrying the same job can succeed.  Anything
+#: else is an exception the job itself raised, which is deterministic for
+#: this codebase's pure-function jobs: retrying a poison job burns a full
+#: backoff ladder per spec for nothing, so job-raised errors get their own
+#: (default fail-fast) budget.
+_INFRASTRUCTURE_ERRORS = (BrokenProcessPool, JobTimeoutError, WatchdogError, OSError)
+
+#: Reporter prefixes for watchdog flag causes (the ``watchdog.*`` event
+#: taxonomy from :mod:`repro.obs.events`).
+_WATCHDOG_EVENT_KINDS = {
+    "stale": "watchdog.stale",
+    "deadline": "watchdog.deadline",
+    "memory": "watchdog.memory",
+}
 
 
 class RunFailedError(RuntimeError):
@@ -125,6 +144,7 @@ class RunStats:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    interrupted: int = 0
     retried: int = 0
     wall_clock_s: float = 0.0
 
@@ -137,6 +157,8 @@ class _InFlight:
     spec: JobSpec
     attempt: int
     deadline: Optional[float]
+    started_mono: float = 0.0
+    started_wall: float = 0.0
 
 
 class ExperimentRunner:
@@ -149,6 +171,7 @@ class ExperimentRunner:
         job_fn: Callable[[JobSpec], Any] = execute_job,
         reporter: Optional[ProgressReporter] = None,
         initializer: Optional[Callable[..., None]] = pool_initializer,
+        supervision: Optional[SupervisionOptions] = None,
     ):
         self.store = store
         self.options = options or RunnerOptions()
@@ -157,6 +180,19 @@ class ExperimentRunner:
         self.initializer = initializer
         self.stats = RunStats()
         self._retry_seq = itertools.count()
+        self.supervision = supervision
+        if supervision is not None:
+            if supervision.run_dir is None and store is not None:
+                supervision.run_dir = str(store.directory)
+            # Swap in the supervised worker entry point only when the
+            # caller kept the default job function — custom job functions
+            # (tests, orchestration replay) keep their own behaviour, but
+            # the watchdog still covers them via deadlines.
+            if supervision.run_dir is not None and job_fn is execute_job:
+                self.job_fn = functools.partial(
+                    execute_job_supervised,
+                    supervision=supervision.worker_payload(),
+                )
 
     # ------------------------------------------------------------------
     # Public API
@@ -183,13 +219,18 @@ class ExperimentRunner:
                 pending.append(spec)
         self.stats = RunStats(total=len(unique), cached=len(unique) - len(pending))
         self.reporter.start(total=len(unique), cached=self.stats.cached)
-        if pending:
-            if self.options.effective_jobs <= 1:
-                self._run_inline(((spec, 1) for spec in pending), results)
-            else:
-                self._run_pool(pending, results)
-        self.stats.wall_clock_s = time.monotonic() - started
-        self.reporter.finish(self.stats)
+        try:
+            if pending:
+                if self.options.effective_jobs <= 1:
+                    self._run_inline(((spec, 1) for spec in pending), results)
+                else:
+                    self._run_pool(pending, results)
+        finally:
+            # Interrupts (KeyboardInterrupt out of either path) must still
+            # leave the stats consistent — the CLI writes them into the
+            # ``interrupted`` manifest.
+            self.stats.wall_clock_s = time.monotonic() - started
+            self.reporter.finish(self.stats)
         return [results[spec.spec_hash] for spec in specs]
 
     def run_or_raise(self, specs: Iterable[JobSpec]) -> List[JobResult]:
@@ -216,12 +257,16 @@ class ExperimentRunner:
     def _ok_result(
         self, spec: JobSpec, payload: Any, attempt: int, fallback_duration: float
     ) -> JobResult:
+        exit_cause = None
+        rss_peak = None
         if isinstance(payload, Mapping) and "result" in payload:
             result = payload.get("result")
             duration = payload.get("duration_s", fallback_duration)
             pid = payload.get("pid")
             trace_cache = payload.get("trace_cache")
             metrics = payload.get("metrics")
+            exit_cause = payload.get("exit_cause")
+            rss_peak = payload.get("rss_peak_kb")
         else:
             result, duration, pid, trace_cache, metrics = (
                 payload, fallback_duration, None, None, None
@@ -236,17 +281,41 @@ class ExperimentRunner:
             worker_pid=pid,
             trace_cache=trace_cache,
             metrics=metrics,
+            exit_cause=exit_cause,
+            rss_peak_kb=rss_peak,
         )
 
     def _failed_result(
         self, spec: JobSpec, error: BaseException, attempt: int
     ) -> JobResult:
+        exit_cause = (
+            error.exit_cause if isinstance(error, WatchdogError) else EXIT_FAILED
+        )
         return JobResult(
             spec_hash=spec.spec_hash,
             status="failed",
             spec=spec.to_dict(),
             error=f"{type(error).__name__}: {error}",
             attempts=attempt,
+            exit_cause=exit_cause,
+        )
+
+    def _interrupted_result(
+        self, spec: JobSpec, error: JobInterrupted, attempt: int
+    ) -> JobResult:
+        """A job stopped cooperatively mid-simulation (checkpoint kept).
+
+        Never memoized (the store only memoizes ``ok`` records), so a
+        resumed run re-executes the job — and the supervised worker then
+        restores the flushed checkpoint instead of starting over.
+        """
+        return JobResult(
+            spec_hash=spec.spec_hash,
+            status="interrupted",
+            spec=spec.to_dict(),
+            error=f"{type(error).__name__}: {error}",
+            attempts=attempt,
+            exit_cause=EXIT_INTERRUPTED,
         )
 
     def _record(self, result: JobResult, results: Dict[str, JobResult]) -> None:
@@ -256,6 +325,9 @@ class ExperimentRunner:
         if result.ok:
             self.stats.executed += 1
             self.reporter.job_done(result)
+        elif result.interrupted:
+            self.stats.interrupted += 1
+            self.reporter.job_interrupted(result)
         else:
             self.stats.failed += 1
             self.reporter.job_failed(result)
@@ -273,6 +345,15 @@ class ExperimentRunner:
                 start = time.perf_counter()
                 try:
                     payload = self.job_fn(spec)
+                except JobInterrupted as error:
+                    self._record(
+                        self._interrupted_result(spec, error, attempt), results
+                    )
+                    # A cooperative interrupt (SIGINT/SIGTERM) stops the
+                    # whole run, not just this job — the installed signal
+                    # handler swallowed the KeyboardInterrupt in favour of
+                    # flushing a checkpoint first, so restore it here.
+                    raise KeyboardInterrupt from error
                 except Exception as error:  # noqa: BLE001 — jobs may raise anything
                     if attempt < self._attempt_budget(error):
                         delay = self._backoff(attempt)
@@ -327,6 +408,14 @@ class ExperimentRunner:
         retry_heap: List[Tuple[float, int, JobSpec, int]],
         results: Dict[str, JobResult],
     ) -> None:
+        if isinstance(error, JobInterrupted):
+            # The worker flushed a checkpoint and stopped on request
+            # (run teardown, Ctrl-C): not a failure and not retryable
+            # inside this invocation — the *next* invocation resumes it.
+            self._record(
+                self._interrupted_result(info.spec, error, info.attempt), results
+            )
+            return
         if info.attempt < self._attempt_budget(error):
             delay = self._backoff(info.attempt)
             self.stats.retried += 1
@@ -353,6 +442,28 @@ class ExperimentRunner:
         queue: Deque[Tuple[JobSpec, int]] = deque((spec, 1) for spec in pending)
         retry_heap: List[Tuple[float, int, JobSpec, int]] = []
         inflight: Dict[Future, _InFlight] = {}
+
+        watchdog: Optional[Watchdog] = None
+        supervision = self.supervision
+        if supervision is not None and supervision.watchdog_active:
+
+            def _inflight_snapshot() -> List[Tuple[str, float, float]]:
+                return [
+                    (info.spec.spec_hash, info.started_mono, info.started_wall)
+                    for info in list(inflight.values())
+                ]
+
+            def _on_flag(spec_hash: str, cause: str, detail: str) -> None:
+                kind = _WATCHDOG_EVENT_KINDS.get(cause, "watchdog.kill")
+                self.reporter.event(f"{kind}: job {spec_hash} {detail}")
+
+            watchdog = Watchdog(
+                supervision.run_dir or ".",
+                _inflight_snapshot,
+                supervision,
+                on_flag=_on_flag,
+            )
+            watchdog.start()
 
         def remaining_work() -> List[Tuple[JobSpec, int]]:
             """Drain all queued/retrying/in-flight work (for degradation)."""
@@ -407,6 +518,8 @@ class ExperimentRunner:
                         spec,
                         attempt,
                         now + opts.timeout_s if opts.timeout_s is not None else None,
+                        started_mono=time.monotonic(),
+                        started_wall=time.time(),
                     )
 
                 if not inflight:
@@ -487,6 +600,45 @@ class ExperimentRunner:
                     else:
                         self._shutdown(executor, kill=True)
                         executor = None
+                    continue
+
+                if watchdog is None or not inflight:
+                    continue
+                flags = watchdog.take_flags()
+                flagged = [
+                    (future, info)
+                    for future, info in inflight.items()
+                    if info.spec.spec_hash in flags
+                ]
+                if flagged:
+                    for future, info in flagged:
+                        del inflight[future]
+                        future.cancel()
+                        cause = flags[info.spec.spec_hash]
+                        self._attempt_failed(
+                            info,
+                            WatchdogError(
+                                f"job {info.spec.spec_hash} ({info.spec.label}) "
+                                f"killed by watchdog ({cause})",
+                                cause=cause,
+                            ),
+                            retry_heap,
+                            results,
+                        )
+                    # Like the timeout path: recycling the pool is the
+                    # only way to actually kill a wedged worker.  The
+                    # requeued job resumes from its last checkpoint.
+                    for spec, attempt in remaining_work():
+                        queue.append((spec, attempt))
+                    if queue or retry_heap:
+                        if restart_pool(kill=True):
+                            self._run_inline(remaining_work(), results)
+                            return
+                    else:
+                        self._shutdown(executor, kill=True)
+                        executor = None
         finally:
+            if watchdog is not None:
+                watchdog.stop()
             if executor is not None:
                 self._shutdown(executor, kill=bool(inflight))

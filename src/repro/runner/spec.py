@@ -159,10 +159,18 @@ class JobResult:
     :func:`repro.runner.worker.job_metrics_summary`) that the run manifest
     aggregates.  ``cached`` is a per-invocation flag (never persisted): it
     marks results answered from the store without executing anything.
+
+    ``exit_cause`` records *why* the job ended the way it did
+    (``completed`` / ``interrupted`` / ``deadline`` / ``watchdog-killed``
+    / ``failed`` — see :mod:`repro.runner.supervise`); ``rss_peak_kb`` is
+    the worker's peak resident set while the job ran (supervised jobs
+    only).  ``interrupted`` records, like failures, are persisted for the
+    audit trail but never memoized, so a resumed run re-executes them —
+    picking up from the job's on-disk checkpoint when one exists.
     """
 
     spec_hash: str
-    status: str  # "ok" | "failed"
+    status: str  # "ok" | "failed" | "interrupted"
     spec: Dict[str, Any] = field(default_factory=dict)
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
@@ -172,13 +180,19 @@ class JobResult:
     trace_cache: Optional[Dict[str, int]] = None
     metrics: Optional[Dict[str, Any]] = None
     cached: bool = False
+    exit_cause: Optional[str] = None
+    rss_peak_kb: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
+    @property
+    def interrupted(self) -> bool:
+        return self.status == "interrupted"
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "spec_hash": self.spec_hash,
             "status": self.status,
             "spec": self.spec,
@@ -190,6 +204,14 @@ class JobResult:
             "trace_cache": self.trace_cache,
             "metrics": self.metrics,
         }
+        # Optional supervision fields are omitted when unset so records
+        # from unsupervised runs serialise exactly as before these fields
+        # existed.
+        if self.exit_cause is not None:
+            document["exit_cause"] = self.exit_cause
+        if self.rss_peak_kb is not None:
+            document["rss_peak_kb"] = self.rss_peak_kb
+        return document
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "JobResult":
@@ -204,4 +226,6 @@ class JobResult:
             worker_pid=raw.get("worker_pid"),
             trace_cache=raw.get("trace_cache"),
             metrics=raw.get("metrics"),
+            exit_cause=raw.get("exit_cause"),
+            rss_peak_kb=raw.get("rss_peak_kb"),
         )

@@ -92,6 +92,13 @@ class ResultStore:
             raise FileNotFoundError(f"no such run directory: {self.directory}")
         self._completed: Dict[str, JobResult] = {}
         self._failed_lines = 0
+        #: Record counts by status and by exit cause, plus resource peaks
+        #: across every recorded attempt — the manifest's supervision
+        #: block (see :meth:`supervision_summary`).
+        self.status_counts: Dict[str, int] = {}
+        self.exit_causes: Dict[str, int] = {}
+        self.max_duration_s = 0.0
+        self.max_rss_peak_kb = 0
         #: Records rejected during the last load (line number, reason,
         #: raw prefix).  Non-empty means the results file was corrupted —
         #: the bad lines were moved to ``quarantine.jsonl`` and the
@@ -147,6 +154,7 @@ class ResultStore:
                 )
                 continue
             valid_lines.append(stripped)
+            self._track(record)
             if record.ok:
                 self._completed[record.spec_hash] = record
             else:
@@ -189,8 +197,38 @@ class ResultStore:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        self._track(result)
         if result.ok:
             self._completed[result.spec_hash] = result
+
+    def _track(self, result: JobResult) -> None:
+        """Fold one record into the status/exit-cause/peak accounting."""
+        self.status_counts[result.status] = (
+            self.status_counts.get(result.status, 0) + 1
+        )
+        cause = result.exit_cause or (
+            "completed" if result.ok else result.status
+        )
+        self.exit_causes[cause] = self.exit_causes.get(cause, 0) + 1
+        if result.duration_s and result.duration_s > self.max_duration_s:
+            self.max_duration_s = result.duration_s
+        if result.rss_peak_kb and result.rss_peak_kb > self.max_rss_peak_kb:
+            self.max_rss_peak_kb = result.rss_peak_kb
+
+    def supervision_summary(self) -> Dict[str, Any]:
+        """Per-run exit-cause counts and resource peaks for the manifest.
+
+        Aggregated over every *recorded attempt chain* (including failed
+        and interrupted ones), so the manifest answers "how did jobs
+        exit?" and "what did the worst job cost?" without re-reading
+        ``results.jsonl``.
+        """
+        return {
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "exit_causes": dict(sorted(self.exit_causes.items())),
+            "max_job_wall_clock_s": round(self.max_duration_s, 3),
+            "max_job_rss_peak_kb": self.max_rss_peak_kb,
+        }
 
     def iter_completed(self) -> Iterator[JobResult]:
         return iter(self._completed.values())

@@ -1,0 +1,324 @@
+"""Crash-safe checkpoint/restore of in-flight simulation runs.
+
+A :class:`SimulationCheckpoint` snapshots a live simulator at a *packet
+barrier* — the instant after one packet fully dispatched and the cursor
+advanced.  Everything the run loop will ever touch again is reachable
+from three roots, all plain picklable Python data:
+
+* the simulator itself (fabric, caches, PTB heaps, prefetch buffer and
+  SID-predictor history, fault-injector RNG, telemetry window, counters),
+* the :class:`~repro.sim.engine.PacketRouter` (an index cursor into the
+  trace plus per-device overflow queues),
+* the loop-state dataclass (``_AnalyticLoop`` or the event twin's
+  ``_EventLoop``, which carries the DES event queue).
+
+Pickling the three together in one protocol-5 stream preserves object
+identity across the graph (engines referenced from both the simulator
+and the loop's ``active`` list restore as the *same* objects), so a
+resumed run re-enters ``_run_loop`` with state bit-identical to the
+interrupted one — floats round-trip exactly, ``random.Random`` restores
+its Mersenne state, heaps and insertion-ordered dicts keep their order.
+``tests/test_checkpoint.py`` pins byte-identity of resumed results for
+both engines.
+
+Writes are atomic and durable: the stream goes to a same-directory temp
+file, is fsync'd, and then ``os.replace``\\ s the target, so a crash
+mid-save leaves either the previous snapshot or the new one — never a
+torn file.  ``load`` verifies a magic prefix and a format version before
+trusting the payload.
+
+The module also owns the cooperative-interrupt flag: a SIGTERM/SIGINT
+handler (or the runner's watchdog) calls :func:`request_interrupt`; the
+run loop notices at the next packet barrier, flushes a final snapshot
+and raises :class:`SimulationInterrupted` carrying the snapshot path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+CHECKPOINT_MAGIC = b"REPRO-CKPT\n"
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or from the wrong run."""
+
+
+def _rebuild_interrupted(message, packets_done, checkpoint_path):
+    """Unpickle helper for :class:`SimulationInterrupted` (see __reduce__)."""
+    return SimulationInterrupted(
+        message, packets_done=packets_done, checkpoint_path=checkpoint_path
+    )
+
+
+class SimulationInterrupted(RuntimeError):
+    """Raised at a packet barrier after an interrupt flushed a snapshot.
+
+    Carries where the run stopped and where the snapshot landed so
+    callers (the CLI, the runner worker) can report and later resume.
+    Defines ``__reduce__`` because the runner ships it across the
+    process-pool boundary.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        packets_done: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.packets_done = packets_done
+        self.checkpoint_path = checkpoint_path
+
+    def __reduce__(self):
+        return (
+            _rebuild_interrupted,
+            (self.args[0] if self.args else "", self.packets_done,
+             self.checkpoint_path),
+        )
+
+
+# ----------------------------------------------------------------------
+# Cooperative interrupt flag
+# ----------------------------------------------------------------------
+_interrupt_requested = False
+
+
+def request_interrupt() -> None:
+    """Ask the running simulation to stop at its next packet barrier."""
+    global _interrupt_requested
+    _interrupt_requested = True
+
+
+def clear_interrupt() -> None:
+    global _interrupt_requested
+    _interrupt_requested = False
+
+
+def interrupt_requested() -> bool:
+    return _interrupt_requested
+
+
+def install_signal_handlers(signals=(signal.SIGTERM, signal.SIGINT)):
+    """Route SIGTERM/SIGINT to :func:`request_interrupt`.
+
+    Returns ``{signum: previous_handler}`` so callers can restore.  The
+    handler only sets a flag — all snapshot I/O happens synchronously at
+    the next packet barrier, never inside the signal frame.
+    """
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, _signal_handler)
+    return previous
+
+
+def restore_signal_handlers(previous) -> None:
+    for signum, handler in previous.items():
+        signal.signal(signum, handler)
+
+
+def _signal_handler(signum, frame):  # pragma: no cover - signal frame
+    request_interrupt()
+
+
+# ----------------------------------------------------------------------
+# Policy and snapshot
+# ----------------------------------------------------------------------
+@dataclass
+class CheckpointPolicy:
+    """When and where the run loop snapshots.
+
+    ``every`` is in processed packets; 0 disables periodic snapshots but
+    (with a ``path``) still flushes on interrupt.  ``hook`` is called as
+    ``hook(packets_done, path_str)`` after every successful save — the
+    runner uses it to stamp worker heartbeats.
+    """
+
+    every: int = 0
+    path: Optional[Path] = None
+    hook: Optional[Callable[[int, str], None]] = None
+
+    def __post_init__(self):
+        if self.every < 0:
+            raise CheckpointError(f"checkpoint_every must be >= 0, got {self.every}")
+        if self.every > 0 and self.path is None:
+            raise CheckpointError("checkpoint_every > 0 requires a checkpoint path")
+        if self.path is not None:
+            self.path = Path(self.path)
+
+    def due(self, processed: int) -> bool:
+        return self.every > 0 and processed > 0 and processed % self.every == 0
+
+
+@dataclass
+class SimulationCheckpoint:
+    """One versioned snapshot of a simulation at a packet barrier."""
+
+    engine: str
+    packets_done: int
+    config: Dict[str, Any]
+    state: Dict[str, Any]
+    version: int = CHECKPOINT_VERSION
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Atomically write the snapshot to ``path`` (tmp + fsync + replace)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.version,
+            "engine": self.engine,
+            "packets_done": self.packets_done,
+            "config": self.config,
+            "state": self.state,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(CHECKPOINT_MAGIC)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(path.parent)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SimulationCheckpoint":
+        """Read and validate a snapshot written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise CheckpointError(f"checkpoint not found: {path}")
+        try:
+            with open(path, "rb") as handle:
+                magic = handle.read(len(CHECKPOINT_MAGIC))
+                if magic != CHECKPOINT_MAGIC:
+                    raise CheckpointError(
+                        f"{path} is not a simulation checkpoint "
+                        f"(bad magic {magic!r})"
+                    )
+                payload = pickle.load(handle)
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(f"failed to read checkpoint {path}: {exc}") from exc
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format version {version}; this build "
+                f"reads version {CHECKPOINT_VERSION}"
+            )
+        return cls(
+            engine=payload["engine"],
+            packets_done=payload["packets_done"],
+            config=payload["config"],
+            state=payload["state"],
+            version=version,
+        )
+
+    # -- resumption ----------------------------------------------------
+    def resume(
+        self,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[PathLike] = None,
+        checkpoint_hook: Optional[Callable[[int, str], None]] = None,
+    ):
+        """Re-enter the run loop from this snapshot and run to completion.
+
+        Continued checkpointing is independent of how the snapshot was
+        produced: pass ``checkpoint_every``/``checkpoint_path`` to keep
+        snapshotting (e.g. to survive a second crash), or neither to just
+        finish the run.
+        """
+        sim = self.state["sim"]
+        router = self.state["router"]
+        loop = self.state["loop"]
+        policy = sim._checkpoint_policy(
+            checkpoint_every, checkpoint_path, checkpoint_hook
+        )
+        if sim._tracer is not None:
+            from repro.obs import events as ev
+
+            sim._tracer.emit(
+                ev.CHECKPOINT_RESUME,
+                loop.last_completion,
+                packets_done=self.packets_done,
+            )
+        return sim._run_loop(router, loop, policy)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def resume_simulation(
+    path: PathLike,
+    expect_engine: Optional[str] = None,
+    expect_config=None,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[PathLike] = None,
+    checkpoint_hook: Optional[Callable[[int, str], None]] = None,
+):
+    """Load ``path`` and run the snapshotted simulation to completion.
+
+    ``expect_engine`` / ``expect_config`` cross-check that the caller is
+    resuming the run it thinks it is: a snapshot from the other engine or
+    from a different architecture raises :class:`CheckpointError` instead
+    of silently producing numbers for the wrong experiment.  When
+    continued checkpointing is requested (``checkpoint_every`` > 0)
+    without an explicit ``checkpoint_path``, snapshots keep going to the
+    file being resumed.
+    """
+    snapshot = SimulationCheckpoint.load(path)
+    if expect_engine is not None and snapshot.engine != expect_engine:
+        raise CheckpointError(
+            f"checkpoint {path} was written by the {snapshot.engine!r} engine; "
+            f"cannot resume it as {expect_engine!r}"
+        )
+    if expect_config is not None:
+        from repro.core.config_io import config_to_dict
+
+        expected = config_to_dict(expect_config)
+        if expected != snapshot.config:
+            mismatched = sorted(
+                key for key in set(expected) | set(snapshot.config)
+                if expected.get(key) != snapshot.config.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint {path} was written for a different config "
+                f"(differs in: {', '.join(mismatched)})"
+            )
+    if checkpoint_every > 0 and checkpoint_path is None:
+        checkpoint_path = path
+    return snapshot.resume(
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_hook=checkpoint_hook,
+    )

@@ -108,11 +108,16 @@ class EventDrivenSimulator(HyperSimulator):
     processing); only the top-level control flow differs.
     """
 
-    def run(
-        self, max_packets: Optional[int] = None, warmup_packets: int = 0
-    ) -> SimulationResult:
-        from itertools import islice
+    _engine_kind = "event"
 
+    def run(
+        self,
+        max_packets: Optional[int] = None,
+        warmup_packets: int = 0,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        checkpoint_hook=None,
+    ) -> SimulationResult:
         trace_packets = self.trace.packets
         total = len(trace_packets)
         if max_packets is not None:
@@ -122,22 +127,24 @@ class EventDrivenSimulator(HyperSimulator):
                 f"warmup ({warmup_packets}) must be shorter than the trace "
                 f"({total} packets)"
             )
-        source = (
-            iter(trace_packets)
-            if max_packets is None
-            else islice(trace_packets, max_packets)
-        )
-        router = PacketRouter(source, self.fabric)
-
-        queue = EventQueue()
-        state = _RunState()
+        router = PacketRouter(trace_packets, self.fabric, limit=max_packets)
+        state = _EventLoop(warmup_packets=warmup_packets, queue=EventQueue())
         for engine in self.engines:
             # Each device's link is serial: exactly one arrival per device
             # is outstanding at any time, and accepting a packet schedules
             # that device's next one.
             if engine.fetch_next(router):
-                self._schedule_arrival(queue, engine)
+                self._schedule_arrival(state.queue, engine)
+        return self._run_loop(
+            router, state, self._checkpoint_policy(
+                checkpoint_every, checkpoint_path, checkpoint_hook
+            ),
+        )
 
+    def _run_loop(self, router, state, policy=None) -> SimulationResult:
+        """Drain the event queue from ``state``; checkpoint-resumable like
+        the analytic loop (the queue itself is part of the loop state)."""
+        queue = state.queue
         while queue:
             event = queue.pop()
             if event.kind is EventKind.PREFETCH_INSTALL:
@@ -146,10 +153,14 @@ class EventDrivenSimulator(HyperSimulator):
                     event.time, sid, page, hpa, page_shift
                 )
                 continue
+            before = state.processed
             self._dispatch_arrival(
-                queue, event.time, self.engines[event.payload], router,
-                warmup_packets, state,
+                queue, event.time, self.engines[event.payload], router, state
             )
+            # Checkpoint only at packet barriers (a completed dispatch),
+            # mirroring the analytic engine's cadence packet for packet.
+            if policy is not None and state.processed != before:
+                self._checkpoint_barrier(policy, router, state)
 
         elapsed = max(state.last_completion, state.last_arrival)
         if self.telemetry is not None:
@@ -169,17 +180,13 @@ class EventDrivenSimulator(HyperSimulator):
             tiebreak=engine.device_id,
         )
 
-    def _dispatch_arrival(
-        self, queue, arrival, engine, router, warmup_packets, state
-    ):
+    def _dispatch_arrival(self, queue, arrival, engine, router, state):
         if not engine.current_is_retry:
             engine.begin_packet()
 
         if self.native:
             completion = engine.process_native(arrival)
-            self._finish_packet(
-                queue, arrival, completion, engine, router, warmup_packets, state
-            )
+            self._finish_packet(queue, arrival, completion, engine, router, state)
             return
 
         if not engine.try_admit(arrival):
@@ -198,19 +205,15 @@ class EventDrivenSimulator(HyperSimulator):
                 (engine.device_id, sid, page, hpa, page_shift),
                 tiebreak=engine.device_id,
             )
-        self._finish_packet(
-            queue, arrival, completion, engine, router, warmup_packets, state
-        )
+        self._finish_packet(queue, arrival, completion, engine, router, state)
 
-    def _finish_packet(
-        self, queue, arrival, completion, engine, router, warmup_packets, state
-    ):
+    def _finish_packet(self, queue, arrival, completion, engine, router, state):
         state.last_arrival = max(state.last_arrival, arrival)
         state.last_completion = max(state.last_completion, completion)
         state.processed += 1
         if self.telemetry is not None and not self.native:
             engine.sample_telemetry(arrival, engine.current_packet)
-        if warmup_packets and state.processed == warmup_packets:
+        if state.warmup_packets and state.processed == state.warmup_packets:
             state.measure_from_ns = (
                 arrival if self.native
                 else max(state.last_completion, state.last_arrival)
@@ -223,9 +226,16 @@ class EventDrivenSimulator(HyperSimulator):
 
 
 @dataclass
-class _RunState:
-    """Mutable bookkeeping threaded through the event loop."""
+class _EventLoop:
+    """Mutable bookkeeping threaded through the event loop.
 
+    Checkpoint-picklable alongside the simulator — the event queue rides
+    in here, so a restored run pops exactly the events the interrupted
+    one still had scheduled.
+    """
+
+    warmup_packets: int = 0
+    queue: EventQueue = field(default_factory=EventQueue)
     last_arrival: float = 0.0
     last_completion: float = 0.0
     processed: int = 0
@@ -242,8 +252,23 @@ def simulate_evented(
     telemetry=None,
     observability=None,
     fault_plan=None,
+    checkpoint_every: int = 0,
+    checkpoint_path=None,
+    checkpoint_hook=None,
+    resume_from=None,
 ) -> SimulationResult:
     """One-call convenience mirroring :func:`repro.sim.simulator.simulate`."""
+    if resume_from is not None:
+        from repro.sim.checkpoint import resume_simulation
+
+        return resume_simulation(
+            resume_from,
+            expect_engine="event",
+            expect_config=config,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            checkpoint_hook=checkpoint_hook,
+        )
     simulator = EventDrivenSimulator(
         config,
         trace,
@@ -252,4 +277,10 @@ def simulate_evented(
         observability=observability,
         fault_plan=fault_plan,
     )
-    return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)
+    return simulator.run(
+        max_packets=max_packets,
+        warmup_packets=warmup_packets,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_hook=checkpoint_hook,
+    )

@@ -44,13 +44,26 @@ class PacketRouter:
     other devices encountered while searching are parked in per-device
     deques, so the source is consumed exactly once and never materialised
     beyond the routing lookahead.
+
+    The source cursor is an explicit index into the packet sequence (not
+    an iterator) so a router mid-run is plain picklable state — simulation
+    checkpoints snapshot it together with the engines.
     """
 
-    def __init__(self, source, fabric):
-        self._source = iter(source)
+    def __init__(self, packets, fabric, limit: Optional[int] = None):
+        self._packets = packets
+        self._pos = 0
+        self._limit = len(packets) if limit is None else min(limit, len(packets))
         self._queues: List[deque] = [deque() for _ in range(fabric.num_devices)]
         self._single = fabric.num_devices == 1
         self._route = fabric.device_for_sid
+
+    def _next_source(self):
+        if self._pos >= self._limit:
+            return None
+        packet = self._packets[self._pos]
+        self._pos += 1
+        return packet
 
     def next_packet(self, device_id: int):
         """The next packet destined for ``device_id``; ``None`` when done."""
@@ -58,13 +71,15 @@ class PacketRouter:
         if queue:
             return queue.popleft()
         if self._single:
-            return next(self._source, None)
-        for packet in self._source:
+            return self._next_source()
+        while True:
+            packet = self._next_source()
+            if packet is None:
+                return None
             target = self._route(packet.sid)
             if target == device_id:
                 return packet
             self._queues[target].append(packet)
-        return None
 
 
 class DeviceEngine:

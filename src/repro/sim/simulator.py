@@ -34,7 +34,7 @@ while its device-side installs are delayed by the full prefetch latency.
 
 from __future__ import annotations
 
-from itertools import islice
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.base import CacheStats
@@ -137,11 +137,19 @@ class HyperSimulator:
             for device_id in range(self.fabric.num_devices)
         ]
 
+    #: Engine kind recorded in checkpoints (the event twin overrides).
+    _engine_kind = "analytic"
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(
-        self, max_packets: Optional[int] = None, warmup_packets: int = 0
+        self,
+        max_packets: Optional[int] = None,
+        warmup_packets: int = 0,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        checkpoint_hook=None,
     ) -> SimulationResult:
         """Simulate the trace and return the measured result.
 
@@ -151,6 +159,19 @@ class HyperSimulator:
         steady-state methodology (workloads run 60-360 s and traces stop
         before any tenant drains).  With several devices the warmup counts
         *fabric-wide* accepted packets.
+
+        ``checkpoint_every`` > 0 (with ``checkpoint_path``) snapshots the
+        full engine state to ``checkpoint_path`` every N processed packets
+        (atomic tmp+rename write); a run restored from any such snapshot
+        via :func:`repro.sim.checkpoint.resume_simulation` produces a
+        byte-identical :class:`SimulationResult`.  With ``checkpoint_path``
+        set, a pending interrupt (see
+        :func:`repro.sim.checkpoint.request_interrupt`) flushes a final
+        snapshot at the next packet barrier and raises
+        :class:`~repro.sim.checkpoint.SimulationInterrupted`.
+        ``checkpoint_hook`` is called as ``hook(packets_done, path)`` after
+        every snapshot (the runner uses it for worker heartbeats).  At the
+        default ``checkpoint_every=0`` with no path the loop is untouched.
         """
         trace_packets = self.trace.packets
         total = len(trace_packets)
@@ -161,21 +182,36 @@ class HyperSimulator:
                 f"warmup ({warmup_packets}) must be shorter than the trace "
                 f"({total} packets)"
             )
-        source = (
-            iter(trace_packets)
-            if max_packets is None
-            else islice(trace_packets, max_packets)
+        router = PacketRouter(trace_packets, self.fabric, limit=max_packets)
+        state = _AnalyticLoop(
+            warmup_packets=warmup_packets,
+            active=[engine for engine in self.engines if engine.fetch_next(router)],
         )
-        router = PacketRouter(source, self.fabric)
+        return self._run_loop(
+            router, state, self._checkpoint_policy(
+                checkpoint_every, checkpoint_path, checkpoint_hook
+            ),
+        )
 
+    def _checkpoint_policy(self, every, path, hook):
+        if not every and path is None:
+            return None
+        from repro.sim.checkpoint import CheckpointPolicy
+
+        return CheckpointPolicy(every=every, path=path, hook=hook)
+
+    def _run_loop(self, router, state, policy=None) -> SimulationResult:
+        """Drive the merge loop from ``state`` to completion.
+
+        Entered fresh from :meth:`run` and re-entered with restored state
+        by :meth:`repro.sim.checkpoint.SimulationCheckpoint.resume` — the
+        loop body itself is identical either way, which is what makes a
+        resumed run bit-exact.
+        """
         engines = self.engines
-        active = [engine for engine in engines if engine.fetch_next(router)]
+        active = state.active
         native = self.native
         telemetry = self.telemetry
-        last_completion = 0.0
-        measure_from_ns = 0.0
-        measure_from_bytes = 0
-        processed = 0
         while active:
             # Merge the per-device cursors: the globally earliest pending
             # arrival (retries included) runs next, ties broken by device
@@ -191,23 +227,27 @@ class HyperSimulator:
                 if not engine.try_admit(arrival):
                     continue
                 completion = engine.complete_packet(arrival)
-            last_completion = max(last_completion, completion)
-            processed += 1
+            state.last_completion = max(state.last_completion, completion)
+            state.processed += 1
             if telemetry is not None and not native:
                 engine.sample_telemetry(arrival, engine.current_packet)
-            if warmup_packets and processed == warmup_packets:
-                measure_from_ns = arrival if native else max(last_completion, arrival)
-                measure_from_bytes = self.packet_stats.bytes_processed
+            if state.warmup_packets and state.processed == state.warmup_packets:
+                state.measure_from_ns = (
+                    arrival if native else max(state.last_completion, arrival)
+                )
+                state.measure_from_bytes = self.packet_stats.bytes_processed
                 for other in engines:
                     other.measure_from_bytes = other.packet_stats.bytes_processed
             if not engine.fetch_next(router):
                 active.remove(engine)
+            if policy is not None:
+                self._checkpoint_barrier(policy, router, state)
 
         # Apply prefetches still in flight when the trace ends, so final
         # cache-state accounting matches the event-driven engine.
         for engine in engines:
             engine.drain_installs(float("inf"))
-        elapsed = last_completion
+        elapsed = state.last_completion
         for engine in engines:
             elapsed = max(elapsed, engine.clock)
         if telemetry is not None:
@@ -216,9 +256,60 @@ class HyperSimulator:
             telemetry.finish(elapsed)
         return self._build_result(
             elapsed,
-            measure_from_ns=measure_from_ns,
-            measure_from_bytes=measure_from_bytes,
+            measure_from_ns=state.measure_from_ns,
+            measure_from_bytes=state.measure_from_bytes,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_barrier(self, policy, router, state) -> None:
+        """One packet-granularity barrier: snapshot and/or interrupt.
+
+        Runs after a packet fully dispatched (and the cursor advanced), so
+        a snapshot taken here restores to exactly the next dispatch.
+        Saving is pure observation — it mutates no engine state and
+        consumes no randomness — so enabling checkpoints cannot change the
+        simulated result.
+        """
+        from repro.sim import checkpoint as ckpt
+
+        if policy.path is not None and ckpt.interrupt_requested():
+            path = self._save_checkpoint(policy, router, state)
+            raise ckpt.SimulationInterrupted(
+                f"interrupted at packet {state.processed}; "
+                f"checkpoint flushed to {path}",
+                packets_done=state.processed,
+                checkpoint_path=str(path),
+            )
+        if policy.due(state.processed):
+            self._save_checkpoint(policy, router, state)
+
+    def _save_checkpoint(self, policy, router, state):
+        from repro.sim.checkpoint import SimulationCheckpoint
+
+        snapshot = SimulationCheckpoint(
+            engine=self._engine_kind,
+            packets_done=state.processed,
+            config=dict(self._config_dict()),
+            state={"sim": self, "router": router, "loop": state},
+        )
+        snapshot.save(policy.path)
+        if self._tracer is not None:
+            self._tracer.emit(
+                ev.CHECKPOINT_SAVE,
+                state.last_completion,
+                packets_done=state.processed,
+            )
+        if policy.hook is not None:
+            policy.hook(state.processed, str(policy.path))
+        return policy.path
+
+    def _config_dict(self) -> Dict:
+        """The serialised config recorded in checkpoint headers."""
+        from repro.core.config_io import config_to_dict
+
+        return config_to_dict(self.config)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -379,6 +470,24 @@ class HyperSimulator:
         return first.spec.profile.name
 
 
+@dataclass
+class _AnalyticLoop:
+    """Loop-local state of one analytic run.
+
+    Everything the merge loop carries between iterations lives here (not
+    in locals) so a checkpoint can pickle it alongside the simulator and
+    resume mid-run.  ``active`` holds the engine objects themselves;
+    pickling them together with the simulator preserves identity.
+    """
+
+    warmup_packets: int = 0
+    active: List[DeviceEngine] = field(default_factory=list)
+    last_completion: float = 0.0
+    measure_from_ns: float = 0.0
+    measure_from_bytes: int = 0
+    processed: int = 0
+
+
 def _engine_order(engine: DeviceEngine) -> Tuple[float, int]:
     """Global dispatch order of pending per-device arrivals."""
     return (engine.next_time, engine.device_id)
@@ -413,8 +522,31 @@ def simulate(
     telemetry=None,
     observability=None,
     fault_plan=None,
+    checkpoint_every: int = 0,
+    checkpoint_path=None,
+    checkpoint_hook=None,
+    resume_from=None,
 ) -> SimulationResult:
-    """One-call convenience: build a simulator and run it."""
+    """One-call convenience: build a simulator and run it.
+
+    ``resume_from`` restores a run from a checkpoint file written by an
+    earlier ``checkpoint_every``/``checkpoint_path`` run and continues it
+    to completion; the restored run's result is byte-identical to an
+    uninterrupted one.  The checkpoint carries its own config and trace
+    state, so ``config``/``trace`` are only cross-checked (a mismatching
+    config raises :class:`~repro.sim.checkpoint.CheckpointError`).
+    """
+    if resume_from is not None:
+        from repro.sim.checkpoint import resume_simulation
+
+        return resume_simulation(
+            resume_from,
+            expect_engine="analytic",
+            expect_config=config,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            checkpoint_hook=checkpoint_hook,
+        )
     simulator = HyperSimulator(
         config,
         trace,
@@ -423,4 +555,10 @@ def simulate(
         observability=observability,
         fault_plan=fault_plan,
     )
-    return simulator.run(max_packets=max_packets, warmup_packets=warmup_packets)
+    return simulator.run(
+        max_packets=max_packets,
+        warmup_packets=warmup_packets,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_hook=checkpoint_hook,
+    )

@@ -74,8 +74,17 @@ def _build_config(name: str):
     raise ValueError(f"unknown golden config {name!r}")
 
 
-def compute_golden_point(spec: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one golden point and return its serialised result."""
+def compute_golden_point(
+    spec: Dict[str, Any],
+    checkpoint_every: int = 0,
+    checkpoint_path=None,
+) -> Dict[str, Any]:
+    """Run one golden point and return its serialised result.
+
+    ``checkpoint_every``/``checkpoint_path`` re-run the point with
+    periodic snapshots enabled (``tests/test_checkpoint.py`` pins that
+    snapshotting never moves a golden number).
+    """
     trace = construct_trace(
         profile_by_name(spec["benchmark"]),
         num_tenants=spec["tenants"],
@@ -85,7 +94,11 @@ def compute_golden_point(spec: Dict[str, Any]) -> Dict[str, Any]:
         max_packets=spec["packets"],
     )
     config = _build_config(spec["config"])
-    result = HyperSimulator(config, trace).run(warmup_packets=spec["warmup"])
+    result = HyperSimulator(config, trace).run(
+        warmup_packets=spec["warmup"],
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
     return result_to_dict(result)
 
 

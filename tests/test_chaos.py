@@ -13,22 +13,41 @@ The guarantees under test:
   instead of burning the retry budget;
 * a corrupt ``results.jsonl`` degrades to its valid prefix: bad records
   are quarantined with line numbers, the store keeps every record before
-  (and after) the damage, and subsequent appends/reloads are clean.
+  (and after) the damage, and subsequent appends/reloads are clean;
+* **kill/resume parity**: a worker SIGKILLed *mid-simulation* — after a
+  checkpoint landed but long before completion — produces, once resumed,
+  a result record byte-identical to an uninterrupted run's.  Pinned for
+  the supervised runner (analytic engine) and for a raw subprocess on
+  both engines, under a non-trivial fault plan.
 """
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.core.config import hypertrio_config
+from repro.analysis.scale import RunScale
 from repro.faults import chaos
 from repro.runner import (
     ExperimentRunner,
     JobResult,
+    JobSpec,
     ResultStore,
     RunnerOptions,
+    SupervisionOptions,
+    read_heartbeat,
 )
+from repro.runner.serialize import result_to_dict
+from repro.runner.supervise import checkpoint_path_for
 
-from tests import runner_stubs
+from tests import checkpoint_driver, runner_stubs
 from tests.test_runner import make_spec
 
 
@@ -197,3 +216,139 @@ class TestStoreCorruptionRecovery:
         assert runner.stats.cached == 2
         assert runner.stats.executed == 1
         assert ResultStore(tmp_path / "runs", "resume").completed_count == 3
+
+
+# ----------------------------------------------------------------------
+# Kill/resume parity: SIGKILL mid-simulation, resume, identical bytes
+# ----------------------------------------------------------------------
+
+# ``RunScale.packets_for`` sizes a point at ``max(4000, 16 x tenants)``
+# packets, so tenant count is the only lever that makes a runner job
+# long enough to kill mid-flight: 512 tenants -> 8192 packets, a
+# multi-second simulation with several checkpoint barriers.
+CHAOS_SCALE = RunScale(
+    name="chaos",
+    tenant_counts=(512,),
+    interleavings=("RR1",),
+    benchmarks=("mediastream",),
+    max_packets=200_000,
+    packets_per_tenant=60_000,
+    warmup_fraction=0.25,
+)
+
+
+def chaos_spec(seed=3):
+    """One real, multi-second simulation job under a non-trivial plan."""
+    return JobSpec.from_point(
+        hypertrio_config(), "mediastream", 512, "RR1", CHAOS_SCALE,
+        seed=seed, fault_plan=checkpoint_driver.build_fault_plan(),
+    )
+
+
+def record_bytes(result: JobResult) -> bytes:
+    """Canonical bytes of a record's result payload.
+
+    The JSON round-trip applies the durable store's key normalisation
+    (int dict keys become strings), so in-memory and reloaded records
+    serialise identically when — and only when — their contents match.
+    """
+    dumped = json.dumps(result.result, sort_keys=True)
+    return json.dumps(json.loads(dumped), sort_keys=True).encode()
+
+
+class TestKillResumeParity:
+    @pytest.mark.slow
+    def test_sigkilled_runner_job_resumes_byte_identical(self, tmp_path):
+        """SIGKILL a supervised worker after its first checkpoint lands;
+        the scheduler requeues the job, the retry resumes mid-simulation
+        from the snapshot, and the final record is byte-identical to a
+        run that was never touched."""
+        spec = chaos_spec()
+
+        clean_store = ResultStore(tmp_path / "runs", "clean")
+        clean = ExperimentRunner(
+            store=clean_store, options=RunnerOptions(jobs=2)
+        ).run([spec])[0]
+        assert clean.ok
+
+        chaos_store = ResultStore(tmp_path / "runs", "chaos")
+        run_dir = chaos_store.directory
+        ckpt_path = checkpoint_path_for(run_dir, spec.spec_hash)
+        killed = threading.Event()
+        give_up = time.monotonic() + 60.0
+
+        def assassin():
+            while not killed.is_set() and time.monotonic() < give_up:
+                if ckpt_path.exists():
+                    beat = read_heartbeat(run_dir, spec.spec_hash)
+                    if beat and beat.get("status") == "running":
+                        try:
+                            os.kill(beat["pid"], signal.SIGKILL)
+                        except (OSError, KeyError):
+                            pass
+                        killed.set()
+                        return
+                time.sleep(0.005)
+
+        thread = threading.Thread(target=assassin, daemon=True)
+        thread.start()
+        runner = ExperimentRunner(
+            store=chaos_store,
+            options=RunnerOptions(
+                jobs=2, max_attempts=3, max_pool_restarts=8, backoff_s=0.05
+            ),
+            supervision=SupervisionOptions(checkpoint_every=1_000),
+        )
+        result = runner.run([spec])[0]
+        thread.join(timeout=5.0)
+
+        assert killed.is_set(), "worker finished before the kill — grow the job"
+        assert result.ok
+        assert runner.stats.retried >= 1
+        assert record_bytes(result) == record_bytes(clean)
+        # The snapshot was consumed by the successful resume.
+        assert not ckpt_path.exists()
+        # The durable record matches too (what 'run --resume' would read).
+        reloaded = ResultStore(tmp_path / "runs", "chaos").get(spec.spec_hash)
+        assert record_bytes(reloaded) == record_bytes(clean)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine,packets,every", [
+        ("analytic", 150_000, 5_000),
+        ("event", 100_000, 5_000),
+    ])
+    def test_sigkilled_process_resumes_byte_identical(
+        self, engine, packets, every, tmp_path
+    ):
+        """Raw-engine twin of the runner test, covering the DES engine
+        too: SIGKILL the whole simulating process (no pool, no signal
+        grace), then resume from its last snapshot."""
+        reference = json.dumps(
+            result_to_dict(checkpoint_driver.run_clean(engine, packets)),
+            sort_keys=True,
+        )
+        ckpt_path = tmp_path / "driver.ckpt"
+        out_path = tmp_path / "result.json"
+        repo_root = Path(__file__).parent.parent
+        env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+        argv = [
+            sys.executable, "-m", "tests.checkpoint_driver",
+            "--engine", engine, "--packets", str(packets),
+            "--checkpoint-every", str(every),
+            "--checkpoint-path", str(ckpt_path), "--out", str(out_path),
+        ]
+        proc = subprocess.Popen(argv, cwd=repo_root, env=env)
+        deadline = time.monotonic() + 60.0
+        while not ckpt_path.exists():
+            assert proc.poll() is None, "driver finished before checkpointing"
+            assert time.monotonic() < deadline, "no checkpoint appeared"
+            time.sleep(0.005)
+        proc.kill()  # SIGKILL: no handler, no flush, no goodbye
+        proc.wait(timeout=30)
+        assert not out_path.exists()
+
+        resumed = subprocess.run(
+            argv + ["--resume"], cwd=repo_root, env=env, timeout=300,
+        )
+        assert resumed.returncode == 0
+        assert out_path.read_text(encoding="utf-8") == reference
