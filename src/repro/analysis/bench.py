@@ -1,0 +1,186 @@
+"""Pinned benchmark matrix: ``repro-sim bench`` -> ``BENCH_<n>.json``.
+
+The matrix is deliberately small and *pinned* (fixed benchmark, tenant
+count, packet budget, seed) so successive runs are comparable: the
+analytic engine's packets/s for the Base and HyperTRIO configs, plus the
+service front end's end-to-end requests/s over a loopback replay.
+
+Each run writes ``BENCH_<n>.json`` at the repository root with ``n`` one
+past the highest existing file, and reports the throughput delta against
+the previous file when one exists.  Wall-clock numbers are machine-
+dependent; the files exist to track *relative* drift on one machine
+(e.g. in CI, a grossly slower run flags a regression in the hot loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import re
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import ArchConfig, base_config, hypertrio_config
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import HyperTrace, construct_trace
+from repro.trace.tenant import profile_by_name
+
+#: Schema tag written into every bench file.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The pinned matrix (benchmark, tenants, seed are part of the contract).
+PINNED_BENCHMARK = "mediastream"
+PINNED_TENANTS = 16
+PINNED_SEED = 0
+#: Packet budgets: analytic engine vs (slower, per-request) service path.
+ANALYTIC_PACKETS = 6000
+SERVICE_PACKETS = 2500
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def _pinned_trace(packets: int) -> HyperTrace:
+    return construct_trace(
+        profile_by_name(PINNED_BENCHMARK),
+        num_tenants=PINNED_TENANTS,
+        packets_per_tenant=200_000,
+        seed=PINNED_SEED,
+        max_packets=packets,
+    )
+
+
+def _bench_analytic(config: ArchConfig, packets: int) -> Dict[str, Any]:
+    """Time one offline simulation; traces are never reused across runs."""
+    trace = _pinned_trace(packets)
+    simulator = HyperSimulator(config, trace)
+    started = time.perf_counter()
+    result = simulator.run(warmup_packets=0)
+    wall = time.perf_counter() - started
+    n = len(trace.packets)
+    return {
+        "engine": "analytic",
+        "config": config.name,
+        "packets": n,
+        "wall_s": wall,
+        "packets_per_s": n / wall if wall > 0 else 0.0,
+        "link_utilization": result.link_utilization,
+        "packets_dropped": result.packets.dropped,
+    }
+
+
+def _bench_service(packets: int) -> Dict[str, Any]:
+    """Time a full loopback replay through the service front end."""
+    from repro.service.client import ServiceClient
+    from repro.service.engine import ServiceEngine
+    from repro.service.server import ServiceServer
+
+    trace = _pinned_trace(packets)
+
+    async def _run() -> Tuple[float, int]:
+        engine = ServiceEngine(hypertrio_config(), trace)
+        server = ServiceServer(engine)
+        await server.start()
+        client = ServiceClient("127.0.0.1", server.port)
+        await client.connect()
+        started = time.perf_counter()
+        outcomes = await client.replay(trace.packets, window=64)
+        wall = time.perf_counter() - started
+        await client.close()
+        await server.shutdown()
+        return wall, len(outcomes)
+
+    wall, replies = asyncio.run(_run())
+    return {
+        "engine": "service",
+        "config": "HyperTRIO",
+        "packets": replies,
+        "wall_s": wall,
+        "packets_per_s": replies / wall if wall > 0 else 0.0,
+    }
+
+
+def existing_bench_paths(root: Path) -> List[Path]:
+    """All ``BENCH_<n>.json`` files under ``root``, ordered by ``n``."""
+    found = []
+    for path in root.iterdir():
+        match = _BENCH_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def next_bench_path(root: Path) -> Path:
+    """The next free ``BENCH_<n>.json`` (``BENCH_1.json`` on first run)."""
+    existing = existing_bench_paths(root)
+    if not existing:
+        return root / "BENCH_1.json"
+    last = int(_BENCH_RE.match(existing[-1].name).group(1))
+    return root / f"BENCH_{last + 1}.json"
+
+
+def run_bench(
+    root: Path,
+    analytic_packets: int = ANALYTIC_PACKETS,
+    service_packets: int = SERVICE_PACKETS,
+    output: Optional[Path] = None,
+) -> Tuple[Path, Dict[str, Any], List[str]]:
+    """Run the pinned matrix; returns (path, document, report lines)."""
+    rows = [
+        _bench_analytic(base_config(), analytic_packets),
+        _bench_analytic(hypertrio_config(), analytic_packets),
+        _bench_service(service_packets),
+    ]
+    document: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "matrix": {
+            "benchmark": PINNED_BENCHMARK,
+            "tenants": PINNED_TENANTS,
+            "seed": PINNED_SEED,
+            "analytic_packets": analytic_packets,
+            "service_packets": service_packets,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": rows,
+    }
+    previous = existing_bench_paths(root)
+    path = Path(output) if output is not None else next_bench_path(root)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    lines = [f"wrote {path}"]
+    for row in rows:
+        lines.append(
+            f"  {row['engine']:>8} {row['config']:<9} "
+            f"{row['packets']:>6} pkts in {row['wall_s']:.3f} s "
+            f"({row['packets_per_s']:.0f} pkts/s)"
+        )
+    if previous and previous[-1] != path:
+        lines.extend(_delta_lines(previous[-1], rows))
+    return path, document, lines
+
+
+def _delta_lines(previous_path: Path, rows: List[Dict[str, Any]]) -> List[str]:
+    """Throughput deltas vs the previous bench file (best-effort)."""
+    try:
+        old = json.loads(previous_path.read_text(encoding="utf-8"))
+        old_rows = {
+            (row["engine"], row["config"]): row["packets_per_s"]
+            for row in old.get("results", [])
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return [f"  (could not read {previous_path.name} for deltas)"]
+    lines = [f"  delta vs {previous_path.name}:"]
+    for row in rows:
+        before = old_rows.get((row["engine"], row["config"]))
+        if not before:
+            lines.append(f"    {row['engine']}/{row['config']}: (new)")
+            continue
+        change = (row["packets_per_s"] - before) / before * 100.0
+        lines.append(
+            f"    {row['engine']}/{row['config']}: {change:+.1f}% pkts/s"
+        )
+    return lines

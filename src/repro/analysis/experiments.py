@@ -18,6 +18,7 @@ from repro.analysis.device_scaling import device_scaling
 from repro.analysis.report import ExperimentTable
 from repro.analysis.resilience import resilience
 from repro.analysis.scale import DEFAULT, RunScale
+from repro.analysis.service_saturation import service_saturation
 from repro.analysis.sweeps import cached_trace, run_point
 from repro.core.config import (
     ArchConfig,
@@ -644,6 +645,7 @@ def figure12c(scale: Optional[RunScale] = None) -> ExperimentTable:
 ALL_EXPERIMENTS = {
     "device_scaling": device_scaling,
     "resilience": resilience,
+    "service_saturation": service_saturation,
     "table1": table1,
     "table2": table2,
     "table3": table3,

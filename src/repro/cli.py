@@ -7,6 +7,9 @@ Subcommands::
     repro-sim sweep       --benchmark websearch --interleaving RR4
                           [--metrics-out sweep.metrics.json]
     repro-sim characterize --benchmark mediastream --packets 95000
+    repro-sim serve       --benchmark mediastream --tenants 64 --port 7411
+                          [--rate 5000 --checkpoint svc.ckpt]
+    repro-sim bench       [--root .]   # pinned matrix -> BENCH_<n>.json
     repro-sim experiment  figure10 [--scale default]
     repro-sim run         --experiment figure10 --jobs 4 [--resume RUN_ID]
     repro-sim report-metrics run.metrics.json [--chart]
@@ -60,7 +63,13 @@ def _parse_device_config(devices: int, sid_map: str) -> DeviceConfig:
                 raise argparse.ArgumentTypeError(
                     f"explicit sid-map entries are SID=DEVICE, got {item!r}"
                 )
-            pairs.append((int(sid_text), int(device_text)))
+            try:
+                pairs.append((int(sid_text), int(device_text)))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"explicit sid-map entries are SID=DEVICE with integer "
+                    f"SID and DEVICE, got {item!r}"
+                ) from None
         try:
             return DeviceConfig(
                 count=devices, sid_map="explicit", explicit_map=tuple(pairs)
@@ -221,9 +230,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         config = _CONFIGS[args.config]()
     if args.devices != 1 or args.sid_map != "round_robin":
-        config = config.with_overrides(
-            devices=_parse_device_config(args.devices, args.sid_map)
-        )
+        try:
+            config = config.with_overrides(
+                devices=_parse_device_config(args.devices, args.sid_map)
+            )
+        except argparse.ArgumentTypeError as error:
+            print(f"bad --sid-map: {error}", file=sys.stderr)
+            return 2
     checkpoint_every, checkpoint_path = _simulate_checkpoint_plan(args)
 
     if args.resume_from:
@@ -401,9 +414,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     if len(device_counts) > 1 or num_devices != 1:
                         label = f"{name} x{num_devices}dev"
                     if num_devices != 1:
-                        config = config.with_overrides(
-                            devices=_parse_device_config(num_devices, args.sid_map)
-                        )
+                        try:
+                            config = config.with_overrides(
+                                devices=_parse_device_config(
+                                    num_devices, args.sid_map
+                                )
+                            )
+                        except argparse.ArgumentTypeError as error:
+                            print(f"bad --sid-map: {error}", file=sys.stderr)
+                            return 2
                     fault_plan = None
                     if fault_rate is not None:
                         label = f"{label} f={fault_rate:g}"
@@ -475,6 +494,126 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print()
         print(chart.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the translation service (see docs/SERVICE.md)."""
+    import asyncio
+    import signal
+
+    from repro.service.admission import AdmissionConfig
+    from repro.service.server import build_server
+    from repro.sim.checkpoint import CheckpointError
+
+    try:
+        admission = AdmissionConfig(
+            rate_per_s=args.rate,
+            burst=args.burst,
+            max_queue_depth=args.max_queue_depth,
+            ptb_high_watermark=args.ptb_high_watermark,
+            ptb_low_watermark=args.ptb_low_watermark,
+            backpressure_mode=args.backpressure,
+        )
+    except ValueError as error:
+        print(f"bad admission configuration: {error}", file=sys.stderr)
+        return 2
+    if args.config_file:
+        from repro.core.config_io import load_config
+
+        config = load_config(args.config_file)
+    else:
+        config = _CONFIGS[args.config]()
+
+    trace = None
+    fault_plan = None
+    observability = None
+    if args.resume_from is None:
+        trace = construct_trace(
+            profile_by_name(args.benchmark),
+            num_tenants=args.tenants,
+            packets_per_tenant=200_000,
+            interleaving=args.interleaving,
+            seed=args.seed,
+            max_packets=args.packets,
+        )
+        if args.fault_plan:
+            from repro.faults import FaultPlanFormatError, load_plan
+
+            try:
+                fault_plan = load_plan(args.fault_plan)
+            except FaultPlanFormatError as error:
+                print(
+                    f"bad fault plan {args.fault_plan}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+        if not args.no_metrics:
+            from repro.obs import Observability
+
+            observability = Observability.metrics_only()
+
+    async def _serve() -> None:
+        server = build_server(
+            config,
+            trace,
+            admission=admission,
+            host=args.host,
+            port=args.port,
+            observability=observability,
+            fault_plan=fault_plan,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume_from,
+        )
+        await server.start()
+        # Parseable by wrappers (scripts/service_smoke.py, CI): keep the
+        # "listening on HOST:PORT" shape stable.
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        if args.resume_from:
+            print(
+                f"resumed from {args.resume_from} "
+                f"({server.engine.processed} packets already processed)",
+                flush=True,
+            )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.serve_until_shutdown()
+        if server.checkpoint_path is not None:
+            print(f"checkpoint: {server.checkpoint_path}", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except CheckpointError as error:
+        print(f"cannot resume from {args.resume_from}: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(
+            f"cannot serve on {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned benchmark matrix -> BENCH_<n>.json."""
+    from repro.analysis.bench import run_bench
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    _, _, lines = run_bench(
+        root,
+        analytic_packets=args.analytic_packets,
+        service_packets=args.service_packets,
+        output=Path(args.output) if args.output else None,
+    )
+    print("\n".join(lines))
     return 0
 
 
@@ -818,6 +957,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_file_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="translation-as-a-service TCP front end (docs/SERVICE.md)",
+    )
+    _add_common_workload_args(serve)
+    serve.add_argument("--tenants", type=int, default=64)
+    serve.add_argument(
+        "--config", default="hypertrio", choices=sorted(_CONFIGS)
+    )
+    serve.add_argument(
+        "--config-file", default=None,
+        help="load an ArchConfig JSON file instead of a named preset",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = ephemeral; the bound port is printed "
+             "as 'listening on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="REQ_PER_S",
+        help="per-tenant token-bucket rate limit (default: unlimited); "
+             "0 denies the tenant outright",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=64,
+        help="token-bucket burst capacity (default: 64)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="per-tenant in-flight request cap (default: unlimited)",
+    )
+    serve.add_argument(
+        "--ptb-high-watermark", type=int, default=None, metavar="N",
+        help="modeled PTB occupancy that triggers backpressure "
+             "(default: off)",
+    )
+    serve.add_argument(
+        "--ptb-low-watermark", type=int, default=None, metavar="N",
+        help="occupancy that releases backpressure (default: half the "
+             "high watermark)",
+    )
+    serve.add_argument(
+        "--backpressure", default="shed", choices=("shed", "pause"),
+        help="over the high watermark: 'shed' rejects with a typed error, "
+             "'pause' stalls the device's virtual clock to the drain time",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="flush a warm-restart snapshot here on graceful shutdown "
+             "(SIGTERM/SIGINT); restart with --resume-from PATH",
+    )
+    serve.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="warm-restart from a service checkpoint (workload flags are "
+             "ignored: the checkpoint carries the full engine state)",
+    )
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the live per-SID metrics registry (slightly faster; "
+             "'stats' replies omit per_sid)",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="inject faults from a FaultPlan JSON file (see repro.faults)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="pinned benchmark matrix -> BENCH_<n>.json (throughput "
+             "tracking)",
+    )
+    bench.add_argument(
+        "--root", default=".",
+        help="directory holding the BENCH_<n>.json series (default: .)",
+    )
+    bench.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="explicit output path (default: next BENCH_<n>.json in --root)",
+    )
+    bench.add_argument(
+        "--analytic-packets", type=int, default=6000,
+        help="packet budget for the analytic-engine rows (default: 6000)",
+    )
+    bench.add_argument(
+        "--service-packets", type=int, default=2500,
+        help="packet budget for the service replay row (default: 2500)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     characterize = subparsers.add_parser(
         "characterize", help="single-tenant Figure 8 analysis"

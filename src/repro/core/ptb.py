@@ -98,6 +98,23 @@ class PendingTranslationBuffer:
             return now
         return self._completions[0]
 
+    def drain_time_to(self, target_occupancy: int) -> float:
+        """Earliest time at which occupancy is <= ``target_occupancy``.
+
+        Used by the service layer's pause-mode backpressure: with the
+        buffer above its high watermark, the link is stalled until enough
+        in-flight translations complete to fall back to the low watermark.
+        Returns 0.0 when occupancy is already at or below the target.
+        """
+        if target_occupancy < 0:
+            target_occupancy = 0
+        excess = len(self._completions) - target_occupancy
+        if excess <= 0:
+            return 0.0
+        # The occupancy drops to the target when the ``excess``-th smallest
+        # completion time passes.
+        return heapq.nsmallest(excess, self._completions)[-1]
+
     def issue(self, now: float, latency_ns: float) -> float:
         """Claim an entry for a request issued at ``now``.
 

@@ -32,6 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Schema tag written into every metrics file.
 METRICS_SCHEMA = "repro-obs-metrics/1"
 
+#: Schema tag written into every Chrome-trace export.  JSONL exports stay
+#: one bare event per line (no header object) so they remain directly
+#: grep/pandas-loadable; their schema is implied by the file suffix.
+TRACE_SCHEMA = "repro-obs-trace/1"
+
 
 def _event_dict(event: TraceEvent) -> Dict[str, Any]:
     record: Dict[str, Any] = {
@@ -98,7 +103,13 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
             record["s"] = "t"
         trace_events.append(record)
 
-    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+    # Extra top-level keys are legal in the trace-event format; viewers
+    # ignore "schema".
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "schema": TRACE_SCHEMA,
+    }
 
 
 def write_chrome_trace(

@@ -25,6 +25,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+#: Schema version of :meth:`MetricsRegistry.snapshot` dumps.
+REGISTRY_SCHEMA = "repro-obs-registry/1"
+
 #: Sub-buckets per power of two (3 bits -> 8 sub-buckets).
 _SUB_BITS = 3
 _SUB_COUNT = 1 << _SUB_BITS
@@ -220,21 +223,40 @@ class MetricsRegistry:
                     found[value] = instrument
         return found
 
-    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
-        """JSON-compatible dump of every instrument."""
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible dump of every instrument (copy-on-read).
 
-        def rows(table, value_of):
+        Safe to call while a simulation or the translation service is
+        mid-update: the instrument tables are copied before iteration
+        (so concurrent get-or-create cannot invalidate it) and histogram
+        summaries are computed over a copied bucket table (so concurrent
+        ``record`` calls cannot change its size mid-summary).  The
+        result shares no mutable state with the registry.
+        """
+
+        def rows(items, value_of):
             return [
                 {"name": name, "labels": dict(labels), **value_of(instrument)}
                 for (name, labels), instrument in sorted(
-                    table.items(), key=lambda item: (item[0][0], str(item[0][1]))
+                    items, key=lambda item: (item[0][0], str(item[0][1]))
                 )
             ]
 
+        def histogram_row(histogram: LatencyHistogram) -> Dict[str, float]:
+            frozen = LatencyHistogram(
+                count=histogram.count,
+                total_ns=histogram.total_ns,
+                min_ns=histogram.min_ns,
+                max_ns=histogram.max_ns,
+                buckets=dict(histogram.buckets),
+            )
+            return frozen.summary()
+
         return {
-            "counters": rows(self._counters, lambda c: {"value": c.value}),
-            "gauges": rows(self._gauges, lambda g: {"value": g.value}),
-            "histograms": rows(self._histograms, lambda h: h.summary()),
+            "schema": REGISTRY_SCHEMA,
+            "counters": rows(list(self._counters.items()), lambda c: {"value": c.value}),
+            "gauges": rows(list(self._gauges.items()), lambda g: {"value": g.value}),
+            "histograms": rows(list(self._histograms.items()), histogram_row),
         }
 
 

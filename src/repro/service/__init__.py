@@ -1,0 +1,27 @@
+"""Translation-as-a-service: the async streaming front end.
+
+Layers (see docs/SERVICE.md):
+
+* :mod:`repro.service.protocol` — the JSON-lines wire protocol;
+* :mod:`repro.service.admission` — per-tenant token buckets,
+  queue-depth caps, and PTB-watermark backpressure;
+* :mod:`repro.service.engine` — the incremental, offline-identical
+  driver around :class:`~repro.sim.simulator.HyperSimulator`;
+* :mod:`repro.service.server` — the asyncio TCP server
+  (``repro-sim serve``);
+* :mod:`repro.service.client` — the async client library and trace
+  load generator.
+"""
+
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.engine import ServiceEngine, load_service_checkpoint
+from repro.service.protocol import PROTOCOL_SCHEMA, PacketOutcome
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ServiceEngine",
+    "load_service_checkpoint",
+    "PROTOCOL_SCHEMA",
+    "PacketOutcome",
+]

@@ -1,0 +1,314 @@
+"""Async client library for the translation service.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:mod:`repro.service.server`.  Beyond single request/response calls
+(:meth:`translate`, :meth:`stats`, :meth:`flush`, :meth:`ping`) it
+provides the **load-generator mode** the experiments use:
+:meth:`replay` streams a trace's packets through a sliding send window,
+collects per-packet outcomes, and transparently survives a server warm
+restart — on a ``restarting`` notice or a dropped connection it
+reconnects (with bounded backoff) and resends every request the server
+never answered, so the caller gets one outcome per packet even when the
+server was SIGTERM'd and restarted from its checkpoint mid-stream.
+
+Resend correctness leans on two service properties: results for queued
+requests are written before the old server closes (so every processed
+request is acked), and the warm-restart checkpoint is flushed *after*
+the queue drained (so the new server's engine is positioned exactly
+after the last acked packet).  The client therefore resends from the
+first unacknowledged sequence number and nothing is ever translated
+twice or skipped.
+
+The sync wrapper :func:`replay_trace` runs a whole replay under
+``asyncio.run`` for CLI and test use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service import protocol
+from repro.trace.records import PacketRecord
+
+
+class ServiceClientError(RuntimeError):
+    """A protocol-level failure the client cannot retry."""
+
+
+class ServiceClient:
+    """One connection (plus reconnect identity) to a translation service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sid: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        #: Tenant binding sent in ``hello``; ``None`` = replay connection
+        #: (per-request SIDs).
+        self.sid = sid
+        self.connect_timeout = connect_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: Wall-clock RTTs of awaited single requests (load-gen latency).
+        self.rtts: List[float] = []
+        self.reconnects = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def connect(self) -> Dict[str, Any]:
+        """Open the connection and perform the ``hello`` handshake.
+
+        Retries the TCP connect with bounded backoff up to
+        ``connect_timeout`` seconds — this is what bridges a warm
+        restart, when the new server has not bound the port yet.
+        """
+        deadline = time.monotonic() + self.connect_timeout
+        delay = 0.05
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 0.5)
+        hello: Dict[str, Any] = {
+            "type": protocol.HELLO,
+            "schema": protocol.PROTOCOL_SCHEMA,
+        }
+        if self.sid is not None:
+            hello["sid"] = self.sid
+        reply = await self._request(hello)
+        if reply.get("type") != protocol.HELLO_OK:
+            raise ServiceClientError(f"handshake failed: {reply}")
+        return reply
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def _reconnect(self) -> None:
+        self.reconnects += 1
+        await self.close()
+        await self.connect()
+
+    # ------------------------------------------------------------------
+    # Wire primitives
+    # ------------------------------------------------------------------
+    async def _send(self, message: Dict[str, Any]) -> None:
+        if self._writer is None:
+            raise ServiceClientError("client is not connected")
+        self._writer.write(protocol.encode(message))
+        await self._writer.drain()
+
+    async def _recv(self) -> Dict[str, Any]:
+        if self._reader is None:
+            raise ServiceClientError("client is not connected")
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        return protocol.decode(line)
+
+    async def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message and await its (next) reply, timing the RTT."""
+        started = time.monotonic()
+        await self._send(message)
+        reply = await self._recv()
+        self.rtts.append(time.monotonic() - started)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Single requests
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _translate_message(
+        packet: PacketRecord, seq: int, sid: Optional[int]
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "type": protocol.TRANSLATE,
+            "seq": seq,
+            "giovas": list(packet.giovas),
+            "size": packet.size_bytes,
+        }
+        if packet.invalidations:
+            message["inv"] = list(packet.invalidations)
+        if sid is None:
+            message["sid"] = packet.sid
+        return message
+
+    async def translate(self, packet: PacketRecord, seq: int = 0) -> Dict[str, Any]:
+        """Submit one packet and await its ``result`` (or typed error)."""
+        return await self._request(
+            self._translate_message(packet, seq, self.sid)
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._request({"type": protocol.STATS})
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self._request({"type": protocol.PING})
+
+    async def flush(self) -> Dict[str, Any]:
+        """End the modeled stream; returns the server's final result."""
+        reply = await self._request({"type": protocol.FLUSH})
+        if reply.get("type") != protocol.FLUSH_OK:
+            raise ServiceClientError(f"flush failed: {reply}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # Load-generator mode
+    # ------------------------------------------------------------------
+    async def replay(
+        self,
+        packets: Sequence[PacketRecord],
+        window: int = 64,
+        on_outcome=None,
+    ) -> List[Dict[str, Any]]:
+        """Stream ``packets`` through the service; one reply per packet.
+
+        Keeps up to ``window`` requests in flight.  Replies are matched
+        by ``seq``; a ``restarting`` error/notice or a broken connection
+        triggers reconnect-and-resend from the first unacknowledged
+        sequence.  Returns the replies in packet order (``result``
+        responses, or non-retryable typed errors such as
+        ``rate_limited``).  ``on_outcome(seq, reply)`` is called as each
+        reply lands.
+        """
+        total = len(packets)
+        outcomes: List[Optional[Dict[str, Any]]] = [None] * total
+        sent_at: Dict[int, float] = {}
+        acked = 0
+
+        def apply(reply: Dict[str, Any]) -> bool:
+            """Record one reply; True if it answered a pending seq."""
+            kind = reply.get("type")
+            if kind == protocol.RESTARTING:
+                return False
+            if (
+                kind == protocol.ERROR
+                and reply.get("code") in protocol.RETRYABLE_CODES
+            ):
+                # The server refused this request while draining; it will
+                # be resent after reconnecting.
+                return False
+            seq = reply.get("seq")
+            if not isinstance(seq, int) or not 0 <= seq < total:
+                return False
+            if outcomes[seq] is not None:
+                return False
+            outcomes[seq] = reply
+            started = sent_at.pop(seq, None)
+            if started is not None:
+                # Pipelined RTT: queueing + service time under the
+                # current window — the load-gen latency sample.
+                self.rtts.append(time.monotonic() - started)
+            if on_outcome is not None:
+                on_outcome(seq, reply)
+            return True
+
+        async def drain_pending_replies() -> None:
+            """Consume buffered replies up to EOF before reconnecting.
+
+            A graceful server writes every queued result *before* closing
+            the connection; a failed send must not discard those — every
+            reply lost here would be resent and translated twice.
+            """
+            if self._reader is None:
+                return
+            try:
+                while True:
+                    line = await asyncio.wait_for(
+                        self._reader.readline(), timeout=5.0
+                    )
+                    if not line:
+                        return
+                    try:
+                        apply(protocol.decode(line))
+                    except protocol.ProtocolError:
+                        continue
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                OSError,
+            ):
+                return
+
+        while acked < total:
+            if self._writer is None:
+                await self.connect()
+            sent = acked
+            try:
+                while acked < total:
+                    while sent < total and sent - acked < window:
+                        if outcomes[sent] is None:
+                            # Never resend an answered seq after a
+                            # reconnect: the engine would translate it
+                            # twice.
+                            sent_at[sent] = time.monotonic()
+                            await self._send(
+                                self._translate_message(
+                                    packets[sent], sent, self.sid
+                                )
+                            )
+                        sent += 1
+                    reply = await self._recv()
+                    if reply.get("type") == protocol.RESTARTING:
+                        raise ConnectionResetError("server restarting")
+                    if apply(reply):
+                        while acked < total and outcomes[acked] is not None:
+                            acked += 1
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await drain_pending_replies()
+                while acked < total and outcomes[acked] is not None:
+                    acked += 1
+                if acked >= total:
+                    break
+                await self._reconnect()
+        return [reply for reply in outcomes if reply is not None]
+
+
+def replay_trace(
+    host: str,
+    port: int,
+    packets: Sequence[PacketRecord],
+    sid: Optional[int] = None,
+    window: int = 64,
+    flush: bool = False,
+    connect_timeout: float = 10.0,
+):
+    """Synchronous one-shot replay (CLI / tests / CI smoke).
+
+    Returns ``(outcomes, flush_reply_or_None, client)`` — the client is
+    returned for its RTT samples and reconnect count.
+    """
+
+    async def _run():
+        client = ServiceClient(
+            host, port, sid=sid, connect_timeout=connect_timeout
+        )
+        await client.connect()
+        try:
+            outcomes = await client.replay(packets, window=window)
+            flush_reply = await client.flush() if flush else None
+        finally:
+            await client.close()
+        return outcomes, flush_reply, client
+
+    return asyncio.run(_run())

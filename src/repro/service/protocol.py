@@ -1,0 +1,225 @@
+"""Wire protocol of the translation service: JSON lines over TCP.
+
+One request or response per line, each a JSON object with a ``type``
+field.  The protocol is deliberately small — it is a thin request/response
+boundary in front of the shared translation fabric (Amiri Sani et al.'s
+device-file argument applied to translation): the *service* owns
+admission and transport, the *engine* owns every simulated outcome.
+
+Requests::
+
+    {"type": "hello", "schema": "repro-service/1", "sid": 3}
+    {"type": "translate", "seq": 0, "giovas": [a, b, c], "size": 1542,
+     "inv": [page, ...], "sid": 5}
+    {"type": "stats"}
+    {"type": "flush"}
+    {"type": "ping"}
+
+``hello`` binds the connection to one tenant (its SID); every subsequent
+``translate`` is accounted to that tenant.  A ``hello`` without a SID
+creates an *unbound* (replay) connection whose ``translate`` requests must
+each carry an explicit ``sid`` — this is what lets one client replay a
+multi-tenant trace file in exact wire order, which is the basis of the
+service-vs-offline parity guarantee (see docs/SERVICE.md).
+
+Responses mirror requests: ``hello_ok``, ``result`` (one per
+``translate``, carrying the per-packet outcome), ``stats``, ``flush_ok``,
+``pong``, and typed ``error`` responses.  A draining server emits a
+``restarting`` notice before closing, so clients know to reconnect rather
+than fail.
+
+Everything on the wire carries the schema tag :data:`PROTOCOL_SCHEMA`;
+incompatible future revisions bump the suffix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Protocol schema tag; sent in ``hello`` both ways and in ``stats``.
+PROTOCOL_SCHEMA = "repro-service/1"
+
+# Request types ---------------------------------------------------------
+HELLO = "hello"
+TRANSLATE = "translate"
+STATS = "stats"
+FLUSH = "flush"
+PING = "ping"
+
+# Response types --------------------------------------------------------
+HELLO_OK = "hello_ok"
+RESULT = "result"
+STATS_REPLY = "stats"
+FLUSH_OK = "flush_ok"
+PONG = "pong"
+ERROR = "error"
+#: Unsolicited notice sent to every live connection while the server
+#: drains for a (warm) restart.
+RESTARTING = "restarting"
+
+# Typed error codes -----------------------------------------------------
+#: Malformed JSON, missing fields, or a bad field type.
+E_BAD_REQUEST = "bad_request"
+#: ``translate`` before a successful ``hello``.
+E_NOT_BOUND = "not_bound"
+#: The SID is not a tenant of the system the service was started with.
+E_UNKNOWN_SID = "unknown_sid"
+#: Per-tenant token bucket empty (admission control).
+E_RATE_LIMITED = "rate_limited"
+#: Per-tenant queue-depth cap reached (admission control).
+E_QUEUE_FULL = "queue_full"
+#: Shed because the device's PTB occupancy crossed the high watermark —
+#: the service-layer mirror of the paper's PTB-overflow drop semantics.
+E_BACKPRESSURE = "backpressure"
+#: The server is draining for a restart; retry after reconnecting.
+E_RESTARTING = "restarting"
+#: The translation itself failed (e.g. a gIOVA outside the tenant's
+#: address space); the request is not retryable.
+E_TRANSLATION = "translation_error"
+
+#: Codes a client may transparently retry after reconnect/backoff.
+RETRYABLE_CODES = frozenset({E_RESTARTING})
+
+
+class ProtocolError(ValueError):
+    """A line that could not be parsed into a valid protocol message."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Serialise one protocol message to a wire line (newline included)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`ProtocolError` on anything that is not a JSON object
+    with a string ``type`` field — the caller answers with a typed
+    ``bad_request`` error instead of dying.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"not a JSON line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("message has no string 'type' field")
+    return message
+
+
+def error_reply(
+    code: str, message: str, seq: Optional[int] = None
+) -> Dict[str, Any]:
+    """Build a typed error response (``seq`` echoes the failing request)."""
+    reply: Dict[str, Any] = {"type": ERROR, "code": code, "message": message}
+    if seq is not None:
+        reply["seq"] = seq
+    return reply
+
+
+@dataclass
+class PacketOutcome:
+    """The engine's verdict on one submitted packet.
+
+    Field-for-field this is the per-packet slice of what the offline
+    simulator accumulates into :class:`~repro.core.results.SimulationResult`:
+    admission (accepted vs dropped, with the same cause vocabulary as
+    ``PacketStats.drop_causes``), DevTLB hit/miss deltas, the number of
+    translations performed, and the packet's virtual-time span.  Summing
+    outcomes over a replayed trace reproduces the offline aggregates
+    exactly — the parity tests pin this.
+    """
+
+    sid: int
+    accepted: bool
+    #: Drops accumulated while this packet was in flight (PTB-overflow
+    #: retries, device resets, exhausted fault retries), by cause.
+    drop_causes: Dict[str, int] = field(default_factory=dict)
+    #: Admission retries this packet went through before acceptance.
+    retried: int = 0
+    #: Virtual nanoseconds: first wire arrival and final completion.
+    arrival_ns: float = 0.0
+    completion_ns: float = 0.0
+    #: Translation requests performed (0 when dropped before translation).
+    translations: int = 0
+    devtlb_hits: int = 0
+    devtlb_misses: int = 0
+    #: Sum of the per-request translation latencies of this packet.
+    latency_ns: float = 0.0
+
+    @property
+    def status(self) -> str:
+        return "accepted" if self.accepted else "dropped"
+
+    def to_wire(self, seq: int) -> Dict[str, Any]:
+        """The ``result`` response for this outcome."""
+        reply: Dict[str, Any] = {
+            "type": RESULT,
+            "seq": seq,
+            "sid": self.sid,
+            "status": self.status,
+            "arrival_ns": self.arrival_ns,
+            "completion_ns": self.completion_ns,
+            "translations": self.translations,
+            "devtlb_hits": self.devtlb_hits,
+            "devtlb_misses": self.devtlb_misses,
+            "latency_ns": self.latency_ns,
+        }
+        if self.drop_causes:
+            reply["drops"] = dict(self.drop_causes)
+        if self.retried:
+            reply["retried"] = self.retried
+        return reply
+
+    @classmethod
+    def from_wire(cls, reply: Dict[str, Any]) -> "PacketOutcome":
+        """Rebuild an outcome from a ``result`` response."""
+        return cls(
+            sid=reply["sid"],
+            accepted=reply["status"] == "accepted",
+            drop_causes=dict(reply.get("drops", {})),
+            retried=reply.get("retried", 0),
+            arrival_ns=reply["arrival_ns"],
+            completion_ns=reply["completion_ns"],
+            translations=reply["translations"],
+            devtlb_hits=reply["devtlb_hits"],
+            devtlb_misses=reply["devtlb_misses"],
+            latency_ns=reply["latency_ns"],
+        )
+
+
+def parse_translate(
+    message: Dict[str, Any], bound_sid: Optional[int]
+) -> Tuple[int, int, Tuple[int, int, int], int, Tuple[int, ...]]:
+    """Validate a ``translate`` request; returns its decoded fields.
+
+    Returns ``(seq, sid, giovas, size_bytes, invalidations)``.  Raises
+    :class:`ProtocolError` with a precise message on any malformed field,
+    so the server can answer ``bad_request`` naming the offending part.
+    """
+    seq = message.get("seq")
+    if not isinstance(seq, int):
+        raise ProtocolError("translate needs an integer 'seq'")
+    sid = message.get("sid", bound_sid)
+    if not isinstance(sid, int):
+        raise ProtocolError(
+            "translate on an unbound connection needs an integer 'sid'"
+        )
+    giovas = message.get("giovas")
+    if (
+        not isinstance(giovas, list)
+        or len(giovas) != 3
+        or not all(isinstance(g, int) for g in giovas)
+    ):
+        raise ProtocolError("'giovas' must be a list of exactly 3 integers")
+    size = message.get("size", 1542)
+    if not isinstance(size, int) or size <= 0:
+        raise ProtocolError(f"'size' must be a positive integer, got {size!r}")
+    inv = message.get("inv", [])
+    if not isinstance(inv, list) or not all(isinstance(p, int) for p in inv):
+        raise ProtocolError("'inv' must be a list of integer page numbers")
+    return seq, sid, (giovas[0], giovas[1], giovas[2]), size, tuple(inv)

@@ -1,0 +1,485 @@
+"""Asyncio TCP front end of the translation service.
+
+Architecture (one process, one event loop):
+
+* one **connection handler** per client parses JSON lines, answers
+  protocol-level requests (``hello``, ``stats``, ``ping``) inline, and
+  runs the per-tenant admission gates on each ``translate`` before
+  enqueueing it;
+* one **dispatcher task** drains a single global FIFO queue and drives
+  the :class:`~repro.service.engine.ServiceEngine` one packet at a time.
+  A single queue gives the whole service a deterministic global
+  submission order — for one replay connection, exactly trace order,
+  which is what the service-vs-offline parity tests rely on.
+
+The dispatcher is also where fabric-level backpressure runs, because PTB
+occupancy is only meaningful at the engine's virtual submission time:
+when a device's modeled PTB crosses the configured high watermark, the
+request is either **shed** with a typed ``backpressure`` error (the wire
+slot is still consumed — the paper's PTB-overflow drop at the service
+layer) or the device's virtual clock is **paused** to the PTB drain
+time before admission.
+
+Requests queued by a client that disconnects mid-stream are discarded at
+dispatch: their admission slots are released and the engine never sees
+them, so a dying client leaks no engine state (pinned by
+``tests/test_service_admission.py``).
+
+Graceful shutdown (SIGTERM/SIGINT or :meth:`ServiceServer.shutdown`)
+drains in order: stop accepting, refuse new translates with a typed
+``restarting`` error, finish every queued request (results still reach
+their clients), flush a PR 5-style checkpoint (engine kind
+``"service"``), notify live connections with a ``restarting`` notice
+carrying the checkpoint path, then close.  A new server started from
+that checkpoint (``repro-sim serve --resume``) continues warm: caches,
+PTB heaps, virtual clocks, and cumulative stats all survive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service import protocol
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.engine import ServiceEngine, load_service_checkpoint
+from repro.trace.records import PacketRecord
+
+
+class _Connection:
+    """Per-connection state shared between its handler and the dispatcher."""
+
+    __slots__ = ("writer", "bound_sid", "closed", "name")
+
+    def __init__(self, writer: asyncio.StreamWriter, name: str):
+        self.writer = writer
+        self.bound_sid: Optional[int] = None
+        self.closed = False
+        self.name = name
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Best-effort single-line write (skipped once closed)."""
+        if self.closed:
+            return
+        try:
+            self.writer.write(protocol.encode(message))
+        except (ConnectionError, RuntimeError):
+            self.closed = True
+
+
+class ServiceServer:
+    """The translation-as-a-service front end.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.service.engine.ServiceEngine` to drive —
+        freshly built, or restored via
+        :func:`~repro.service.engine.load_service_checkpoint` for a warm
+        restart.
+    admission:
+        Admission configuration (or a restored
+        :class:`~repro.service.admission.AdmissionController`).  The
+        default config disables every gate — a pure transport.
+    checkpoint_path:
+        Where graceful shutdown flushes the warm-restart snapshot;
+        ``None`` disables the snapshot (shutdown still drains cleanly).
+    """
+
+    def __init__(
+        self,
+        engine: ServiceEngine,
+        admission: Optional[AdmissionConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_path=None,
+        clock=time.monotonic,
+    ):
+        self.engine = engine
+        if isinstance(admission, AdmissionController):
+            self.admission = admission
+        else:
+            self.admission = AdmissionController(admission)
+        self.host = host
+        self.port = port
+        self.checkpoint_path = checkpoint_path
+        self._clock = clock
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Created in start(): on Python 3.9 asyncio primitives bind to the
+        # event loop current at construction, which must be the running one.
+        self._queue: Optional["asyncio.Queue"] = None
+        self._dispatcher_task: Optional[asyncio.Task] = None
+        self._connections: List[_Connection] = []
+        self._draining = False
+        self._shutdown_requested: Optional[asyncio.Event] = None
+        self.stopped: Optional[asyncio.Event] = None
+        #: Wall-clock service counters (wire-level, not modeled).
+        self.requests_received = 0
+        self.results_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start serving; resolves once the socket listens."""
+        self._queue = asyncio.Queue()
+        self._shutdown_requested = asyncio.Event()
+        self.stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger (wired to SIGTERM by the CLI)."""
+        self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`request_shutdown`, then drain and stop."""
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> Optional[str]:
+        """Graceful drain: see the module docstring for the exact order.
+
+        Returns the checkpoint path when a snapshot was flushed.
+        """
+        if self._draining:
+            await self.stopped.wait()
+            return str(self.checkpoint_path) if self.checkpoint_path else None
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Finish everything already admitted; their results still reach
+        # the clients over the open connections.
+        await self._queue.join()
+        if self._dispatcher_task is not None:
+            self._queue.put_nowait(None)
+            await self._dispatcher_task
+        saved: Optional[str] = None
+        if self.checkpoint_path is not None:
+            self.engine.save_checkpoint(
+                self.checkpoint_path, extra_state={"admission": self.admission}
+            )
+            saved = str(self.checkpoint_path)
+        notice: Dict[str, Any] = {"type": protocol.RESTARTING}
+        if saved is not None:
+            notice["checkpoint"] = saved
+        for conn in list(self._connections):
+            conn.send(notice)
+            conn.closed = True
+            try:
+                await conn.writer.drain()
+            except ConnectionError:
+                pass
+            conn.writer.close()
+        self.stopped.set()
+        return saved
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        engine = self.engine
+        admission = self.admission
+        queue = self._queue
+        while True:
+            item = await queue.get()
+            if item is None:
+                queue.task_done()
+                return
+            conn, seq, packet = item
+            try:
+                if conn.closed:
+                    # Client died with this request still queued: discard
+                    # it before the engine sees it — no engine-state leak.
+                    admission.release(packet.sid)
+                    continue
+                device_id = engine.device_for_sid(packet.sid)
+                occupancy = engine.ptb_occupancy(device_id)
+                if admission.check_backpressure(device_id, occupancy):
+                    if admission.config.backpressure_mode == "shed":
+                        engine.shed_slot(packet)
+                        admission.record_shed(packet.sid)
+                        admission.release(packet.sid)
+                        conn.send(
+                            protocol.error_reply(
+                                protocol.E_BACKPRESSURE,
+                                f"PTB occupancy {occupancy} at high watermark; "
+                                f"request shed",
+                                seq=seq,
+                            )
+                        )
+                        continue
+                    engine.stall_until_drained(
+                        device_id, admission.config.low_watermark()
+                    )
+                try:
+                    outcome = engine.submit(packet)
+                except Exception as error:
+                    admission.release(packet.sid)
+                    conn.send(
+                        protocol.error_reply(
+                            protocol.E_TRANSLATION, str(error), seq=seq
+                        )
+                    )
+                    continue
+                admission.release(packet.sid)
+                conn.send(outcome.to_wire(seq))
+                self.results_sent += 1
+            finally:
+                queue.task_done()
+            # Yield so connection handlers and writers get scheduled
+            # between packets even under a full queue.
+            if not conn.closed:
+                try:
+                    await conn.writer.drain()
+                except ConnectionError:
+                    conn.closed = True
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        conn = _Connection(writer, name=str(peer))
+        self._connections.append(conn)
+        try:
+            while not conn.closed:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError as error:
+                    conn.send(
+                        protocol.error_reply(protocol.E_BAD_REQUEST, str(error))
+                    )
+                    continue
+                await self._handle_message(conn, message)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            conn.closed = True
+            if conn in self._connections:
+                self._connections.remove(conn)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _handle_message(
+        self, conn: _Connection, message: Dict[str, Any]
+    ) -> None:
+        kind = message["type"]
+        if kind == protocol.HELLO:
+            sid = message.get("sid")
+            if sid is not None and not isinstance(sid, int):
+                conn.send(
+                    protocol.error_reply(
+                        protocol.E_BAD_REQUEST, "'sid' must be an integer"
+                    )
+                )
+                return
+            if sid is not None and not self.engine.knows_sid(sid):
+                conn.send(
+                    protocol.error_reply(
+                        protocol.E_UNKNOWN_SID,
+                        f"sid {sid} is not a tenant of this service",
+                    )
+                )
+                return
+            conn.bound_sid = sid
+            conn.send(
+                {
+                    "type": protocol.HELLO_OK,
+                    "schema": protocol.PROTOCOL_SCHEMA,
+                    "sid": sid,
+                    "num_devices": self.engine.num_devices,
+                }
+            )
+        elif kind == protocol.TRANSLATE:
+            self._handle_translate(conn, message)
+        elif kind == protocol.STATS:
+            conn.send(self.stats_reply())
+        elif kind == protocol.FLUSH:
+            await self._handle_flush(conn)
+        elif kind == protocol.PING:
+            conn.send({"type": protocol.PONG})
+        else:
+            conn.send(
+                protocol.error_reply(
+                    protocol.E_BAD_REQUEST, f"unknown request type {kind!r}"
+                )
+            )
+        try:
+            await conn.writer.drain()
+        except ConnectionError:
+            conn.closed = True
+
+    def _handle_translate(self, conn: _Connection, message: Dict[str, Any]) -> None:
+        try:
+            seq, sid, giovas, size, inv = protocol.parse_translate(
+                message, conn.bound_sid
+            )
+        except protocol.ProtocolError as error:
+            conn.send(
+                protocol.error_reply(
+                    protocol.E_BAD_REQUEST, str(error), seq=message.get("seq")
+                )
+            )
+            return
+        self.requests_received += 1
+        if self._draining:
+            conn.send(
+                protocol.error_reply(
+                    protocol.E_RESTARTING,
+                    "server is draining for restart; reconnect and retry",
+                    seq=seq,
+                )
+            )
+            return
+        if not self.engine.knows_sid(sid):
+            conn.send(
+                protocol.error_reply(
+                    protocol.E_UNKNOWN_SID,
+                    f"sid {sid} is not a tenant of this service",
+                    seq=seq,
+                )
+            )
+            return
+        denied = self.admission.acquire(sid, self._clock())
+        if denied is not None:
+            conn.send(
+                protocol.error_reply(
+                    denied, f"admission denied for sid {sid}", seq=seq
+                )
+            )
+            return
+        packet = PacketRecord(
+            sid=sid, giovas=giovas, size_bytes=size, invalidations=inv
+        )
+        self._queue.put_nowait((conn, seq, packet))
+
+    async def _handle_flush(self, conn: _Connection) -> None:
+        """End-of-stream: drain the queue, then build the final result.
+
+        ``flush`` is ordered after every already-queued request and is
+        terminal for the modeled run (it applies the offline engine's
+        end-of-run install drain); later translates get a
+        ``translation_error``.  The reply carries the full
+        :class:`SimulationResult` via the exact-round-trip serializer, so
+        a client can compare it byte-for-byte with an offline run.
+        """
+        from repro.runner.serialize import result_to_dict
+
+        await self._queue.join()
+        result = self.engine.flush()
+        conn.send(
+            {
+                "type": protocol.FLUSH_OK,
+                "packets": self.engine.processed,
+                "result": result_to_dict(result),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Live metrics
+    # ------------------------------------------------------------------
+    def stats_reply(self) -> Dict[str, Any]:
+        """The ``stats`` response: live per-SID metrics, copy-on-read."""
+        engine = self.engine
+        stats = engine.sim.packet_stats
+        reply: Dict[str, Any] = {
+            "type": protocol.STATS_REPLY,
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "processed": engine.processed,
+            "queue_depth": self._queue.qsize(),
+            "requests_received": self.requests_received,
+            "results_sent": self.results_sent,
+            "packets": {
+                "arrived": stats.arrived,
+                "accepted": stats.accepted,
+                "dropped": stats.dropped,
+                "retried": stats.retried,
+                "drop_causes": dict(stats.drop_causes),
+            },
+            "admission": self.admission.snapshot(),
+        }
+        metrics = engine.sim._metrics
+        if metrics is not None:
+            per_sid: Dict[str, Any] = {}
+            histograms = metrics.histograms_by_label(
+                "translation_latency_ns", "sid"
+            )
+            for sid in sorted(histograms):
+                histogram = histograms[sid]
+                per_sid[str(sid)] = {
+                    **histogram.summary(),
+                    "devtlb_hits": metrics.counter(
+                        "devtlb.hit", structure="devtlb", sid=sid
+                    ).value,
+                    "devtlb_misses": metrics.counter(
+                        "devtlb.miss", structure="devtlb", sid=sid
+                    ).value,
+                }
+            reply["per_sid"] = per_sid
+        return reply
+
+
+def build_server(
+    config,
+    trace,
+    admission: Optional[AdmissionConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    observability=None,
+    fault_plan=None,
+    checkpoint_path=None,
+    resume_from=None,
+) -> ServiceServer:
+    """Assemble a server around a fresh or warm-restarted engine.
+
+    ``resume_from`` loads a service checkpoint written by a previous
+    graceful shutdown: the restored engine continues at its exact model
+    state, the restored admission controller keeps its cumulative stats
+    but resets process-bound runtime (in-flight counts, backpressure
+    latches, token-bucket refill clocks, which reference the dead
+    process's monotonic epoch).
+    """
+    if resume_from is not None:
+        engine, state = load_service_checkpoint(resume_from, expect_config=config)
+        controller = state.get("admission")
+        if isinstance(controller, AdmissionController):
+            if admission is not None:
+                controller.config = admission
+            controller.reset_runtime()
+        else:
+            controller = AdmissionController(admission)
+        return ServiceServer(
+            engine,
+            admission=controller,
+            host=host,
+            port=port,
+            checkpoint_path=checkpoint_path,
+        )
+    engine = ServiceEngine(
+        config, trace, observability=observability, fault_plan=fault_plan
+    )
+    return ServiceServer(
+        engine,
+        admission=admission,
+        host=host,
+        port=port,
+        checkpoint_path=checkpoint_path,
+    )

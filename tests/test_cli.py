@@ -57,6 +57,45 @@ class TestCommands:
         assert "Base" in output
         assert "Gb/s" in output
 
+    def test_simulate_malformed_sid_map_reports_entry(self, capsys):
+        """A bad explicit --sid-map entry must not traceback: it names
+        the offending entry on stderr and exits 2."""
+        code = main([
+            "simulate", "--tenants", "2", "--packets", "100",
+            "--devices", "2", "--sid-map", "explicit:0=0,1=oops",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "1=oops" in err
+        assert "bad --sid-map" in err
+
+    def test_sweep_malformed_sid_map_reports_entry(self, capsys):
+        code = main([
+            "sweep", "--tenants", "2", "--packets", "100",
+            "--devices", "2", "--sid-map", "explicit:x=0",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "x=0" in err
+
+    def test_simulate_sid_map_unknown_scheme_exits_cleanly(self, capsys):
+        code = main([
+            "simulate", "--tenants", "2", "--packets", "100",
+            "--devices", "2", "--sid-map", "randomly",
+        ])
+        assert code == 2
+        assert "randomly" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.backpressure == "shed"
+        assert args.rate is None and args.max_queue_depth is None
+
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.root == "." and args.output is None
+
     def test_simulate_verbose_prints_caches(self, capsys):
         main([
             "simulate", "--benchmark", "iperf3", "--tenants", "2",

@@ -109,7 +109,7 @@ class TestConfigHelpers:
 
     def test_registry_complete(self):
         expected = {
-            "device_scaling", "resilience",
+            "device_scaling", "resilience", "service_saturation",
             "table1", "table2", "table3", "table4",
             "figure4", "figure5", "figure8", "figure9", "figure10",
             "figure11a", "figure11b", "figure11c",

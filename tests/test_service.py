@@ -1,0 +1,310 @@
+"""Tests for the translation service: protocol, parity, warm restart.
+
+The asyncio pieces run under ``asyncio.run`` inside synchronous tests
+(the environment has no pytest-asyncio).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import base_config, hypertrio_config
+from repro.runner.serialize import result_from_dict, result_to_dict
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.engine import (
+    ServiceEngine,
+    UnknownTenantError,
+    load_service_checkpoint,
+)
+from repro.service.server import ServiceServer
+from repro.sim.checkpoint import CheckpointError
+from repro.sim.simulator import HyperSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.records import PacketRecord
+from repro.trace.tenant import profile_by_name
+
+TENANTS = 8
+PACKETS = 120
+
+
+def make_trace(num_tenants=TENANTS, packets=PACKETS, benchmark="mediastream"):
+    """A fresh trace per call: traces must never be shared between sims."""
+    return construct_trace(
+        profile_by_name(benchmark),
+        num_tenants=num_tenants,
+        packets_per_tenant=200_000,
+        max_packets=packets,
+    )
+
+
+def offline_result(config, **trace_kwargs):
+    return HyperSimulator(config, make_trace(**trace_kwargs)).run(
+        warmup_packets=0
+    )
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"type": protocol.TRANSLATE, "seq": 3, "giovas": [1, 2, 3]}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2]\n")
+
+    def test_decode_requires_type(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b'{"seq": 1}\n')
+
+    def test_parse_translate_requires_sid_when_unbound(self):
+        message = {"type": protocol.TRANSLATE, "seq": 0, "giovas": [1, 2, 3]}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_translate(message, None)
+
+    def test_parse_translate_validates_giovas(self):
+        message = {
+            "type": protocol.TRANSLATE, "seq": 0, "sid": 0, "giovas": [1, 2],
+        }
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_translate(message, None)
+
+    def test_outcome_wire_round_trip(self):
+        outcome = protocol.PacketOutcome(
+            sid=3, accepted=False, drop_causes={"ptb_overflow": 1},
+            retried=2, arrival_ns=10.0, completion_ns=20.0,
+            translations=3, devtlb_hits=1, devtlb_misses=2, latency_ns=7.5,
+        )
+        wire = outcome.to_wire(seq=9)
+        assert wire["seq"] == 9
+        assert wire["status"] == "dropped"
+        restored = protocol.PacketOutcome.from_wire(wire)
+        assert restored == outcome
+
+
+class TestServiceEngineParity:
+    @pytest.mark.parametrize("factory", [base_config, hypertrio_config])
+    def test_submit_stream_matches_offline(self, factory):
+        config = factory()
+        offline = offline_result(config)
+        engine = ServiceEngine(config, make_trace())
+        for packet in make_trace().packets:
+            engine.submit(packet)
+        assert engine.flush() == offline
+
+    def test_base_config_exercises_drops(self):
+        # The parity above is only meaningful if the retry path runs.
+        result = offline_result(base_config())
+        assert result.packets.dropped > 0
+
+    def test_flush_is_idempotent_and_terminal(self):
+        engine = ServiceEngine(hypertrio_config(), make_trace())
+        packets = make_trace().packets
+        for packet in packets:
+            engine.submit(packet)
+        first = engine.flush()
+        assert engine.flush() is first
+        with pytest.raises(RuntimeError):
+            engine.submit(packets[0])
+
+    def test_peek_result_does_not_end_stream(self):
+        engine = ServiceEngine(hypertrio_config(), make_trace())
+        packets = make_trace().packets
+        for packet in packets[:50]:
+            engine.submit(packet)
+        mid = engine.peek_result()
+        assert mid.packets.arrived == 50
+        for packet in packets[50:]:
+            engine.submit(packet)
+        assert engine.processed == len(packets)
+
+    def test_unknown_sid_rejected(self):
+        engine = ServiceEngine(hypertrio_config(), make_trace())
+        bad = PacketRecord(sid=10_000, giovas=(1, 2, 3))
+        with pytest.raises(UnknownTenantError):
+            engine.submit(bad)
+        assert engine.processed == 0
+
+    def test_checkpoint_round_trip_matches_offline(self, tmp_path):
+        config = hypertrio_config()
+        offline = offline_result(config)
+        engine = ServiceEngine(config, make_trace())
+        packets = make_trace().packets
+        half = len(packets) // 2
+        for packet in packets[:half]:
+            engine.submit(packet)
+        path = tmp_path / "svc.ckpt"
+        engine.save_checkpoint(path, extra_state={"marker": 42})
+
+        restored, state = load_service_checkpoint(path, expect_config=config)
+        assert state["marker"] == 42
+        assert restored.processed == half
+        for packet in packets[half:]:
+            restored.submit(packet)
+        assert restored.flush() == offline
+
+    def test_checkpoint_config_mismatch_detected(self, tmp_path):
+        engine = ServiceEngine(hypertrio_config(), make_trace())
+        path = tmp_path / "svc.ckpt"
+        engine.save_checkpoint(path)
+        with pytest.raises(CheckpointError):
+            load_service_checkpoint(path, expect_config=base_config())
+
+    def test_analytic_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "analytic.ckpt"
+        simulator = HyperSimulator(hypertrio_config(), make_trace())
+        simulator.run(
+            warmup_packets=0, checkpoint_every=50, checkpoint_path=path
+        )
+        with pytest.raises(CheckpointError):
+            load_service_checkpoint(path)
+
+
+class TestServerEndToEnd:
+    def test_replay_and_flush_match_offline_exactly(self):
+        config = hypertrio_config()
+        offline = offline_result(config)
+
+        async def run():
+            engine = ServiceEngine(config, make_trace())
+            server = ServiceServer(engine)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            outcomes = await client.replay(make_trace().packets)
+            flush = await client.flush()
+            await client.close()
+            await server.shutdown()
+            return outcomes, flush
+
+        outcomes, flush = asyncio.run(run())
+        assert len(outcomes) == PACKETS
+        assert all(o["type"] == protocol.RESULT for o in outcomes)
+        wire = flush["result"]
+        assert result_from_dict(wire) == offline
+        # Byte identity through the serializer (the raw wire dict differs
+        # only by JSON's tuple->list coercion).
+        assert json.dumps(result_to_dict(offline)) == json.dumps(
+            result_to_dict(result_from_dict(wire))
+        )
+
+    def test_stats_reports_live_per_sid_metrics(self):
+        from repro.obs import Observability
+
+        async def run():
+            engine = ServiceEngine(
+                hypertrio_config(), make_trace(),
+                observability=Observability.metrics_only(),
+            )
+            server = ServiceServer(engine)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(make_trace().packets)
+            stats = await client.stats()
+            await client.close()
+            await server.shutdown()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["schema"] == protocol.PROTOCOL_SCHEMA
+        assert stats["processed"] == PACKETS
+        assert stats["packets"]["arrived"] == PACKETS
+        per_sid = stats["per_sid"]
+        assert len(per_sid) == TENANTS
+        for summary in per_sid.values():
+            assert summary["count"] > 0
+            assert summary["p99_ns"] >= summary["p50_ns"]
+            assert summary["devtlb_hits"] + summary["devtlb_misses"] > 0
+
+    def test_hello_rejects_unknown_sid(self):
+        async def run():
+            engine = ServiceEngine(hypertrio_config(), make_trace())
+            server = ServiceServer(engine)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port, sid=999)
+            try:
+                with pytest.raises(Exception):
+                    await client.connect()
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(run())
+
+    def test_graceful_shutdown_flushes_checkpoint(self, tmp_path):
+        path = tmp_path / "svc.ckpt"
+
+        async def run():
+            engine = ServiceEngine(hypertrio_config(), make_trace())
+            server = ServiceServer(engine, checkpoint_path=path)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(make_trace().packets[:40])
+            saved = await server.shutdown()
+            await client.close()
+            return saved
+
+        saved = asyncio.run(run())
+        assert saved == str(path)
+        engine, _ = load_service_checkpoint(path)
+        assert engine.processed == 40
+
+    def test_warm_restart_resumes_to_offline_parity(self, tmp_path):
+        """SIGTERM-style restart mid-stream: the combined run is exact."""
+        config = hypertrio_config()
+        offline = offline_result(config)
+        path = tmp_path / "svc.ckpt"
+        packets = make_trace().packets
+        half = len(packets) // 2
+
+        async def first_half():
+            engine = ServiceEngine(config, make_trace())
+            server = ServiceServer(engine, checkpoint_path=path)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(packets[:half])
+            await server.shutdown()  # what request_shutdown() triggers
+            await client.close()
+
+        async def second_half():
+            engine, state = load_service_checkpoint(path, expect_config=config)
+            server = ServiceServer(engine)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(packets[half:])
+            flush = await client.flush()
+            await client.close()
+            await server.shutdown()
+            return flush
+
+        asyncio.run(first_half())
+        flush = asyncio.run(second_half())
+        assert flush["packets"] == len(packets)
+        assert result_from_dict(flush["result"]) == offline
+
+
+class TestSweepRegistration:
+    def test_service_saturation_registered(self):
+        from repro.analysis.experiments import ALL_EXPERIMENTS
+
+        assert "service_saturation" in ALL_EXPERIMENTS
+
+    def test_driver_produces_full_matrix(self):
+        from repro.analysis.scale import SMOKE
+        from repro.analysis.service_saturation import service_saturation
+
+        table = service_saturation(SMOKE)
+        # smoke: 2 client counts x 1 tenant count
+        assert len(table.rows) == 2
+        for row in table.rows:
+            requests = row[2]
+            assert requests == 400
