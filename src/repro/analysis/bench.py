@@ -2,23 +2,34 @@
 
 The matrix is deliberately small and *pinned* (fixed benchmark, tenant
 count, packet budget, seed) so successive runs are comparable: the
-analytic engine's packets/s for the Base and HyperTRIO configs, plus the
-service front end's end-to-end requests/s over a loopback replay.
+analytic engine's packets/s for the Base and HyperTRIO configs (plus a
+phase-profiled HyperTRIO row carrying the per-phase host-time
+breakdown), the service front end's end-to-end requests/s over a
+loopback replay, the runner's job throughput, and the checkpointing
+overhead of a supervised run.
 
 Each run writes ``BENCH_<n>.json`` at the repository root with ``n`` one
 past the highest existing file, and reports the throughput delta against
-the previous file when one exists.  Wall-clock numbers are machine-
-dependent; the files exist to track *relative* drift on one machine
-(e.g. in CI, a grossly slower run flags a regression in the hot loop).
+the previous file when one exists.  Index selection and the write happen
+under an exclusive ``.bench.lock`` flock, so two concurrent ``bench``
+runs in the same ``--root`` get distinct files instead of clobbering one
+``BENCH_<n>.json``.  Wall-clock numbers are machine-dependent; the files
+exist to track *relative* drift on one machine (e.g. in CI,
+``scripts/bench_gate.py`` flags a grossly slower run against the
+committed baseline).
 """
 
 from __future__ import annotations
 
 import asyncio
+import fcntl
 import json
+import os
 import platform
 import re
+import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -37,8 +48,26 @@ PINNED_SEED = 0
 #: Packet budgets: analytic engine vs (slower, per-request) service path.
 ANALYTIC_PACKETS = 6000
 SERVICE_PACKETS = 2500
+#: Sequential jobs timed for the runner job-throughput row.
+RUNNER_JOBS = 4
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@contextmanager
+def _bench_lock(root: Path):
+    """Exclusive flock held across index selection *and* the write.
+
+    Without it two concurrent ``bench`` runs both compute the same
+    ``next_bench_path`` and the second silently overwrites the first.
+    """
+    path = root / ".bench.lock"
+    with path.open("a") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 def _pinned_trace(packets: int) -> HyperTrace:
@@ -101,6 +130,124 @@ def _bench_service(packets: int) -> Dict[str, Any]:
     }
 
 
+def _bench_profiled(packets: int) -> Dict[str, Any]:
+    """The analytic hot path with phase profiling on.
+
+    The per-phase breakdown (lookup / walk / ptb host time) rides into
+    the bench document, and the throughput delta against the plain
+    HyperTRIO row shows what profiling itself costs when enabled.
+    """
+    from repro.obs import Observability
+
+    trace = _pinned_trace(packets)
+    simulator = HyperSimulator(
+        hypertrio_config(),
+        trace,
+        observability=Observability.profiling(spans=False, metrics=False),
+    )
+    started = time.perf_counter()
+    result = simulator.run(warmup_packets=0)
+    wall = time.perf_counter() - started
+    n = len(trace.packets)
+    return {
+        "engine": "analytic",
+        "config": "HyperTRIO/profiled",
+        "packets": n,
+        "wall_s": wall,
+        "packets_per_s": n / wall if wall > 0 else 0.0,
+        "phases": result.phase_profile,
+    }
+
+
+def _bench_runner(jobs: int, packets: int) -> Dict[str, Any]:
+    """Time sequential runner jobs end to end (spec -> ``execute_job``).
+
+    Covers the runner's per-job fixed costs — spec resolution, trace
+    construction/caching, result serialisation — that no analytic row
+    sees.  Jobs after the first hit the worker's trace cache, exactly as
+    they do inside a real run.
+    """
+    from repro.analysis.scale import RunScale
+    from repro.runner.spec import JobSpec
+    from repro.runner.worker import execute_job
+
+    scale = RunScale(
+        name="bench",
+        tenant_counts=(PINNED_TENANTS,),
+        interleavings=("RR1",),
+        benchmarks=(PINNED_BENCHMARK,),
+        max_packets=packets,
+    )
+    spec = JobSpec.from_point(
+        hypertrio_config(),
+        PINNED_BENCHMARK,
+        PINNED_TENANTS,
+        "RR1",
+        scale,
+        seed=PINNED_SEED,
+    )
+    started = time.perf_counter()
+    done = 0
+    for _ in range(jobs):
+        payload = execute_job(spec)
+        done += payload["result"]["packets"]["arrived"]
+    wall = time.perf_counter() - started
+    return {
+        "engine": "runner",
+        "config": "HyperTRIO",
+        "packets": done,
+        "wall_s": wall,
+        "packets_per_s": done / wall if wall > 0 else 0.0,
+        "jobs": jobs,
+        "jobs_per_s": jobs / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_checkpoint(packets: int) -> Dict[str, Any]:
+    """Checkpointed vs plain run of one point: snapshot overhead.
+
+    Both runs execute back to back on fresh traces, so the reported
+    ``checkpoint_overhead_pct`` is the cost of the periodic snapshots
+    alone, not machine drift between bench invocations.
+    """
+    trace = _pinned_trace(packets)
+    simulator = HyperSimulator(hypertrio_config(), trace)
+    started = time.perf_counter()
+    simulator.run(warmup_packets=0)
+    plain = time.perf_counter() - started
+
+    every = max(1, packets // 4)
+    trace = _pinned_trace(packets)
+    simulator = HyperSimulator(hypertrio_config(), trace)
+    handle, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(handle)
+    try:
+        started = time.perf_counter()
+        simulator.run(
+            warmup_packets=0,
+            checkpoint_every=every,
+            checkpoint_path=Path(path),
+        )
+        wall = time.perf_counter() - started
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    n = len(trace.packets)
+    return {
+        "engine": "analytic",
+        "config": "HyperTRIO/checkpointed",
+        "packets": n,
+        "wall_s": wall,
+        "packets_per_s": n / wall if wall > 0 else 0.0,
+        "checkpoint_every": every,
+        "checkpoint_overhead_pct": (
+            (wall - plain) / plain * 100.0 if plain > 0 else 0.0
+        ),
+    }
+
+
 def existing_bench_paths(root: Path) -> List[Path]:
     """All ``BENCH_<n>.json`` files under ``root``, ordered by ``n``."""
     found = []
@@ -130,7 +277,10 @@ def run_bench(
     rows = [
         _bench_analytic(base_config(), analytic_packets),
         _bench_analytic(hypertrio_config(), analytic_packets),
+        _bench_profiled(analytic_packets),
         _bench_service(service_packets),
+        _bench_runner(RUNNER_JOBS, analytic_packets // 2),
+        _bench_checkpoint(analytic_packets // 2),
     ]
     document: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
@@ -140,6 +290,7 @@ def run_bench(
             "seed": PINNED_SEED,
             "analytic_packets": analytic_packets,
             "service_packets": service_packets,
+            "runner_jobs": RUNNER_JOBS,
         },
         "environment": {
             "python": platform.python_version(),
@@ -147,17 +298,33 @@ def run_bench(
         },
         "results": rows,
     }
-    previous = existing_bench_paths(root)
-    path = Path(output) if output is not None else next_bench_path(root)
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    with _bench_lock(root):
+        previous = existing_bench_paths(root)
+        path = Path(output) if output is not None else next_bench_path(root)
+        path.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
 
     lines = [f"wrote {path}"]
     for row in rows:
         lines.append(
-            f"  {row['engine']:>8} {row['config']:<9} "
+            f"  {row['engine']:>8} {row['config']:<22} "
             f"{row['packets']:>6} pkts in {row['wall_s']:.3f} s "
             f"({row['packets_per_s']:.0f} pkts/s)"
         )
+        if row.get("phases"):
+            from repro.obs.phases import format_phase_profile
+
+            lines.append(f"           phases: {format_phase_profile(row['phases'])}")
+        if "jobs_per_s" in row:
+            lines.append(
+                f"           {row['jobs']} jobs ({row['jobs_per_s']:.2f} jobs/s)"
+            )
+        if "checkpoint_overhead_pct" in row:
+            lines.append(
+                f"           checkpoint every {row['checkpoint_every']} pkts: "
+                f"{row['checkpoint_overhead_pct']:+.1f}% wall"
+            )
     if previous and previous[-1] != path:
         lines.extend(_delta_lines(previous[-1], rows))
     return path, document, lines

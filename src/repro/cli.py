@@ -9,6 +9,9 @@ Subcommands::
     repro-sim characterize --benchmark mediastream --packets 95000
     repro-sim serve       --benchmark mediastream --tenants 64 --port 7411
                           [--rate 5000 --checkpoint svc.ckpt]
+                          [--slo-rules slo.json --span-out spans.json]
+    repro-sim top         --port 7411 [--interval 2 --format table]
+    repro-sim top         --run-dir .repro-runs/figure10-default  # fleet view
     repro-sim bench       [--root .]   # pinned matrix -> BENCH_<n>.json
     repro-sim experiment  figure10 [--scale default]
     repro-sim run         --experiment figure10 --jobs 4 [--resume RUN_ID]
@@ -525,6 +528,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         config = _CONFIGS[args.config]()
 
+    slo_rules = None
+    if args.slo_rules:
+        from repro.obs.slo import SloFormatError, load_slo_rules
+
+        try:
+            slo_rules = load_slo_rules(args.slo_rules)
+        except OSError as error:
+            print(f"cannot read SLO rules {args.slo_rules}: {error}",
+                  file=sys.stderr)
+            return 2
+        except SloFormatError as error:
+            print(f"bad SLO rules {args.slo_rules}: {error}", file=sys.stderr)
+            return 2
+    if args.slo_backpressure and not slo_rules:
+        print("--slo-backpressure needs --slo-rules", file=sys.stderr)
+        return 2
+
     trace = None
     fault_plan = None
     observability = None
@@ -548,10 +568,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        if not args.no_metrics:
+        if args.span_out:
+            from repro.obs import Observability
+
+            observability = Observability.profiling(
+                metrics=not args.no_metrics
+            )
+        elif not args.no_metrics:
             from repro.obs import Observability
 
             observability = Observability.metrics_only()
+    elif args.span_out:
+        # The checkpointed engine carries its own observability bundle;
+        # a fresh span recorder cannot be attached under it.
+        print("--span-out cannot be combined with --resume-from",
+              file=sys.stderr)
+        return 2
 
     async def _serve() -> None:
         server = build_server(
@@ -564,6 +596,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             checkpoint_path=args.checkpoint,
             resume_from=args.resume_from,
+            slo_rules=slo_rules,
+            slo_backpressure=args.slo_backpressure,
         )
         await server.start()
         # Parseable by wrappers (scripts/service_smoke.py, CI): keep the
@@ -584,6 +618,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.serve_until_shutdown()
         if server.checkpoint_path is not None:
             print(f"checkpoint: {server.checkpoint_path}", flush=True)
+        if args.span_out and server.spans is not None:
+            from repro.obs.export import write_spans
+
+            path = write_spans(server.spans.spans, args.span_out)
+            print(
+                f"spans: {path} ({len(server.spans.spans)} spans)",
+                flush=True,
+            )
 
     try:
         asyncio.run(_serve())
@@ -597,6 +639,192 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 2
     return 0
+
+
+def _render_stats_table(reply) -> str:
+    """Render a ``stats`` reply as the ``top`` terminal view."""
+    lines = []
+    packets = reply.get("packets") or {}
+    lines.append(
+        f"processed {reply.get('processed', 0)}  "
+        f"queue {reply.get('queue_depth', 0)}  "
+        f"requests {reply.get('requests_received', 0)}  "
+        f"results {reply.get('results_sent', 0)}"
+    )
+    causes = packets.get("drop_causes") or {}
+    cause_text = (
+        ", ".join(f"{cause}={causes[cause]}" for cause in sorted(causes))
+        or "none"
+    )
+    lines.append(
+        f"packets: arrived {packets.get('arrived', 0)}, "
+        f"accepted {packets.get('accepted', 0)}, "
+        f"dropped {packets.get('dropped', 0)}, "
+        f"drops by cause: {cause_text}"
+    )
+    admission = reply.get("admission") or {}
+    if admission:
+        totals = {"admitted": 0, "rate_limited": 0, "queue_full": 0,
+                  "backpressure_shed": 0}
+        for stats in admission.values():
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        lines.append(
+            f"admission: admitted {totals['admitted']}, "
+            f"rate-limited {totals['rate_limited']}, "
+            f"queue-full {totals['queue_full']}, "
+            f"shed {totals['backpressure_shed']}"
+        )
+    per_sid = reply.get("per_sid") or {}
+    if per_sid:
+        lines.append(
+            f"{'sid':>5s} {'reqs':>8s} {'mean':>9s} {'p50':>9s} "
+            f"{'p95':>9s} {'p99':>9s} {'devtlb':>7s}"
+        )
+        for sid in sorted(per_sid, key=int):
+            row = per_sid[sid]
+            hits = row.get("devtlb_hits", 0)
+            misses = row.get("devtlb_misses", 0)
+            accesses = hits + misses
+            hit_text = (
+                f"{hits / accesses * 100.0:6.1f}%" if accesses else "      -"
+            )
+            lines.append(
+                f"{sid:>5s} {row.get('count', 0):8d} "
+                f"{row.get('mean_ns', 0.0):9.0f} "
+                f"{row.get('p50_ns', 0.0):9.0f} "
+                f"{row.get('p95_ns', 0.0):9.0f} "
+                f"{row.get('p99_ns', 0.0):9.0f} {hit_text}"
+            )
+        lines.append("(latencies in ns)")
+    slo = reply.get("slo") or {}
+    for rule in slo.get("rules", []):
+        state = "BREACHED" if rule.get("breached") else "ok"
+        lines.append(
+            f"slo {rule.get('name')}: {rule.get('kind')} "
+            f"threshold {rule.get('threshold')} -> {state}"
+        )
+    return "\n".join(lines)
+
+
+def _render_fleet_table(snapshot) -> str:
+    """Render a fleet registry snapshot (``top --run-dir``) as text."""
+    lines = []
+    workers = [
+        row for row in snapshot.get("gauges", [])
+        if row["name"] == "runner_workers"
+    ]
+    if workers:
+        text = ", ".join(
+            f"{row['labels'].get('status', '?')}={row['value']:.0f}"
+            for row in workers
+        )
+        lines.append(f"workers: {text}")
+    jobs = [
+        row for row in snapshot.get("counters", [])
+        if row["name"] == "runner_jobs"
+    ]
+    if jobs:
+        text = ", ".join(
+            f"{row['labels'].get('status', '?')}={row['value']}" for row in jobs
+        )
+        lines.append(f"jobs: {text}")
+    exits = [
+        row for row in snapshot.get("counters", [])
+        if row["name"] == "runner_jobs_exit"
+    ]
+    if exits:
+        text = ", ".join(
+            f"{row['labels'].get('cause', '?')}={row['value']}" for row in exits
+        )
+        lines.append(f"exit causes: {text}")
+    for row in snapshot.get("histograms", []):
+        if row["name"] == "runner_job_duration_ns" and row.get("count"):
+            lines.append(
+                f"job duration: mean {row['mean_ns'] / 1e9:.2f}s, "
+                f"p99 {row['p99_ns'] / 1e9:.2f}s over {row['count']} jobs"
+            )
+    by_spec = {}
+    for row in snapshot.get("gauges", []):
+        spec = row["labels"].get("spec")
+        if spec is not None:
+            by_spec.setdefault(spec, {})[row["name"]] = (
+                row["value"], row["labels"]
+            )
+    for spec in sorted(by_spec):
+        series = by_spec[spec]
+        age, labels = series.get("runner_heartbeat_age_s", (None, {}))
+        packets, _ = series.get("runner_packets_done", (0.0, {}))
+        rss, _ = series.get("runner_rss_kb", (0.0, {}))
+        age_text = f"{age:.1f}s ago" if age is not None else "never"
+        lines.append(
+            f"  {spec[:12]:12s} {labels.get('status', '?'):10s} "
+            f"{packets:10.0f} packets  rss {rss:8.0f} kB  "
+            f"heartbeat {age_text}"
+        )
+    return "\n".join(lines) if lines else "no fleet records found"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live service/fleet metrics view (polls ``stats`` over the wire)."""
+    import asyncio
+    import time
+
+    if args.run_dir:
+        from repro.obs.fleet import fleet_registry
+        from repro.obs.prom import registry_to_prom
+
+        run_dir = Path(args.run_dir)
+        if not run_dir.is_dir():
+            print(f"no such run directory: {run_dir}", file=sys.stderr)
+            return 2
+        shown = 0
+        while True:
+            snapshot = fleet_registry(run_dir).snapshot()
+            if args.format == "prom":
+                print(registry_to_prom(snapshot), end="", flush=True)
+            else:
+                print(_render_fleet_table(snapshot), flush=True)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+            print(flush=True)
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    async def _watch() -> int:
+        client = ServiceClient(args.host, args.port, connect_timeout=2.0)
+        try:
+            await client.connect()
+        except (OSError, ServiceClientError) as error:
+            print(
+                f"cannot connect to {args.host}:{args.port}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            shown = 0
+            while True:
+                reply = await client.stats(
+                    "prom" if args.format == "prom" else None
+                )
+                if args.format == "prom":
+                    print(reply.get("text", ""), end="", flush=True)
+                else:
+                    print(_render_stats_table(reply), flush=True)
+                shown += 1
+                if args.iterations and shown >= args.iterations:
+                    return 0
+                await asyncio.sleep(args.interval)
+                print(flush=True)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            print("connection to the service lost", file=sys.stderr)
+            return 1
+        finally:
+            await client.close()
+
+    return asyncio.run(_watch())
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1024,7 +1252,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="PATH",
         help="inject faults from a FaultPlan JSON file (see repro.faults)",
     )
+    serve.add_argument(
+        "--slo-rules", default=None, metavar="PATH",
+        help="arm the SLO watch engine with a repro-slo/1 JSON rules file "
+             "(p99 latency, drop rate, PTB dwell); breach state shows in "
+             "'stats' replies and the prom export",
+    )
+    serve.add_argument(
+        "--slo-backpressure", action="store_true",
+        help="let an SLO breach latch admission backpressure until every "
+             "rule recovers (requires --slo-rules)",
+    )
+    serve.add_argument(
+        "--span-out", default=None, metavar="PATH",
+        help="record wire-to-engine request spans and write them as a "
+             "Perfetto-loadable Chrome trace on shutdown (enables phase "
+             "profiling too; clients opt in per request via 'trace')",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live metrics view: poll a serving instance's 'stats', or "
+             "aggregate a runner fleet's run directory",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--port", type=int, default=7411,
+        help="port of the serving instance (default: 7411)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default: 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N renders (default: 0 = poll until interrupted)",
+    )
+    top.add_argument(
+        "--format", default="table", choices=("table", "prom"),
+        help="'table' is the per-SID terminal view; 'prom' prints the "
+             "Prometheus exposition text verbatim",
+    )
+    top.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="offline fleet mode: aggregate DIR's heartbeat and result "
+             "records instead of polling a server (see docs/RUNNER.md)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     bench = subparsers.add_parser(
         "bench",

@@ -1,13 +1,23 @@
 """End-to-end observability for the translation path.
 
-Three layers (see docs/OBSERVABILITY.md):
+The unified telemetry pipeline (see docs/OBSERVABILITY.md):
 
 * **event tracing** (:mod:`repro.obs.tracer`, :mod:`repro.obs.events`) —
   per-request lifecycle events with deterministic sampling, exportable as
   Perfetto-compatible Chrome trace JSON or JSONL;
+* **request spans** (:mod:`repro.obs.spans`) — parented wire-to-engine
+  intervals linking client, dispatcher, admission, and engine through
+  the service protocol's ``trace`` field;
+* **phase profiling** (:mod:`repro.obs.phases`) — host-time cost
+  attribution of the hot path's lookup / walk / PTB segments;
 * **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, log-bucketed
   latency histograms keyed by structure and SID, plus cross-tenant
-  eviction attribution;
+  eviction attribution; rendered live as Prometheus text by
+  :mod:`repro.obs.prom` and aggregated over runner fleets by
+  :mod:`repro.obs.fleet`;
+* **SLO watching** (:mod:`repro.obs.slo`) — declarative rules over the
+  live registry, emitting ``slo.*`` events and optionally driving
+  service admission backpressure;
 * **surfacing** (:mod:`repro.obs.export`) — file exporters consumed by the
   ``repro-sim`` CLI and the parallel runner.
 
@@ -19,9 +29,10 @@ The simulator accepts an :class:`Observability` bundle::
     write_metrics("run.metrics.json", obs, result)
 
 Cost when disabled is near zero: ``Observability.disabled()`` (or simply
-``observability=None``) leaves the hot path free of tracer and metrics
-calls — the simulator checks :attr:`Observability.enabled` once at attach
-time, and ``benchmarks/bench_obs_overhead.py`` guards the budget.
+``observability=None``) leaves the hot path free of tracer, span, phase,
+and metrics calls — the simulator checks :attr:`Observability.enabled`
+once at attach time, and ``benchmarks/bench_obs_overhead.py`` guards the
+budget.
 """
 
 from __future__ import annotations
@@ -32,10 +43,12 @@ from repro.obs import events
 from repro.obs.export import (
     METRICS_SCHEMA,
     metrics_document,
+    spans_to_chrome_events,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
+    write_spans,
     write_trace,
 )
 from repro.obs.metrics import (
@@ -49,6 +62,8 @@ from repro.obs.metrics import (
     bucket_midpoint,
     percentile_from_buckets,
 )
+from repro.obs.phases import NullPhaseProfiler, PhaseProfiler
+from repro.obs.spans import NullSpanRecorder, Span, SpanContext, SpanRecorder
 from repro.obs.tracer import NullTracer, RecordingTracer, TraceEvent, Tracer
 
 __all__ = [
@@ -57,6 +72,12 @@ __all__ = [
     "NullTracer",
     "RecordingTracer",
     "TraceEvent",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "PhaseProfiler",
+    "NullPhaseProfiler",
     "MetricsRegistry",
     "LatencyHistogram",
     "Counter",
@@ -68,23 +89,27 @@ __all__ = [
     "percentile_from_buckets",
     "events",
     "metrics_document",
+    "spans_to_chrome_events",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",
+    "write_spans",
     "write_trace",
     "METRICS_SCHEMA",
 ]
 
 
 class Observability:
-    """Bundle of the three instruments a simulator can carry.
+    """Bundle of the instruments a simulator or service can carry.
 
     ``tracer`` is never ``None`` (a :class:`NullTracer` stands in);
-    ``metrics`` and ``evictions`` are ``None`` when their layer is off.
-    :attr:`enabled` is the single flag the simulator checks at attach
-    time — when it is ``False`` the hot path is identical to running with
-    no observability at all.
+    ``metrics``, ``evictions``, ``spans``, and ``phases`` are ``None``
+    when their layer is off (a :class:`NullSpanRecorder` /
+    :class:`NullPhaseProfiler` counts as off — their ``enabled`` flags
+    are ``False``).  :attr:`enabled` is the single flag the simulator
+    checks at attach time — when it is ``False`` the hot path is
+    identical to running with no observability at all.
     """
 
     def __init__(
@@ -92,10 +117,14 @@ class Observability:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         evictions: Optional[EvictionAttribution] = None,
+        spans: Optional[SpanRecorder] = None,
+        phases: Optional[PhaseProfiler] = None,
     ):
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics
         self.evictions = evictions
+        self.spans = spans if (spans is not None and spans.enabled) else None
+        self.phases = phases if (phases is not None and phases.enabled) else None
 
     @property
     def enabled(self) -> bool:
@@ -103,6 +132,8 @@ class Observability:
             self.tracer.enabled
             or self.metrics is not None
             or self.evictions is not None
+            or self.spans is not None
+            or self.phases is not None
         )
 
     # ------------------------------------------------------------------
@@ -113,7 +144,7 @@ class Observability:
         seed: int = 0,
         max_events: int = 2_000_000,
     ) -> "Observability":
-        """All three layers on: recording tracer, registry, attribution."""
+        """Event tracing, registry, and attribution (spans/phases off)."""
         return cls(
             tracer=RecordingTracer(
                 sample_rate=sample_rate, seed=seed, max_events=max_events
@@ -126,6 +157,26 @@ class Observability:
     def metrics_only(cls) -> "Observability":
         """Metrics and eviction attribution without event tracing."""
         return cls(metrics=MetricsRegistry(), evictions=EvictionAttribution())
+
+    @classmethod
+    def profiling(
+        cls,
+        spans: bool = True,
+        phases: bool = True,
+        metrics: bool = True,
+    ) -> "Observability":
+        """The service-telemetry bundle: spans + phase profiling + metrics.
+
+        This is what ``repro-sim serve --span-out`` attaches: request
+        spans for the wire-to-engine tree, phase counters for the
+        per-stage breakdown, and the registry behind ``stats``/prom
+        export.  Event tracing stays off (spans subsume it here).
+        """
+        return cls(
+            metrics=MetricsRegistry() if metrics else None,
+            spans=SpanRecorder() if spans else None,
+            phases=PhaseProfiler() if phases else None,
+        )
 
     @classmethod
     def disabled(cls) -> "Observability":

@@ -78,6 +78,11 @@ WATCHDOG_DEADLINE = "watchdog.deadline"
 WATCHDOG_MEMORY = "watchdog.memory"
 WATCHDOG_KILL = "watchdog.kill"
 
+# SLO watch engine (emitted only with active SLO rules; see
+# repro.obs.slo) -------------------------------------------------------
+SLO_BREACH = "slo.breach"
+SLO_RECOVER = "slo.recover"
+
 #: Every kind the simulator may emit (exporters and tests validate
 #: against this set).
 ALL_EVENT_KINDS = frozenset(
@@ -109,6 +114,8 @@ ALL_EVENT_KINDS = frozenset(
         WATCHDOG_DEADLINE,
         WATCHDOG_MEMORY,
         WATCHDOG_KILL,
+        SLO_BREACH,
+        SLO_RECOVER,
     }
 )
 

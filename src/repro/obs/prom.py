@@ -1,0 +1,99 @@
+"""Prometheus text-format rendering of a metrics-registry snapshot.
+
+The service's ``stats --format prom`` endpoint and the runner-fleet
+aggregator both flatten their state into the registry snapshot shape
+(:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) and render it here.
+The renderer is dependency-free and write-only: no client library, no
+HTTP server — just the exposition text format, which both Prometheus
+scrapers and humans (``repro-sim top --format prom``) read directly.
+
+Naming: metric names are prefixed ``repro_`` and sanitised (dots and
+dashes to underscores); counters get the conventional ``_total`` suffix;
+histograms are rendered as summaries — ``quantile``-labelled gauges plus
+``_count`` and ``_sum`` series — because the registry's log-bucketed
+histograms already reduce to percentile summaries everywhere else.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Mapping
+
+#: Prefix of every exported metric name.
+PROM_PREFIX = "repro_"
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_ESCAPE = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+#: Quantiles rendered for every histogram summary.
+SUMMARY_QUANTILES = (("0.5", "p50_ns"), ("0.95", "p95_ns"), ("0.99", "p99_ns"))
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """Sanitise a registry metric name into a Prometheus one."""
+    return PROM_PREFIX + _NAME_BAD.sub("_", name) + suffix
+
+
+def format_labels(labels: Mapping[str, Any]) -> str:
+    """Render a label set (``{}`` empty -> empty string), sorted by key."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_BAD.sub("_", str(key))}="{str(value).translate(_LABEL_ESCAPE)}"'
+        for key, value in sorted(labels.items(), key=lambda item: str(item[0]))
+    )
+    return "{" + inner + "}"
+
+
+def _sample(name: str, labels: Mapping[str, Any], value: Any) -> str:
+    return f"{name}{format_labels(labels)} {value}"
+
+
+def registry_to_prom(
+    snapshot: Dict[str, Any], extra_lines: Iterable[str] = ()
+) -> str:
+    """Render a registry snapshot document as Prometheus text.
+
+    ``snapshot`` is the output of :meth:`MetricsRegistry.snapshot`;
+    ``extra_lines`` are pre-rendered exposition lines appended verbatim
+    (the service uses this for wire-level counters that live outside the
+    registry).  Output ends with a trailing newline, per the format.
+    """
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def declare(name: str, kind: str) -> None:
+        if typed.get(name) is None:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for row in snapshot.get("counters", []):
+        name = metric_name(row["name"], "_total")
+        declare(name, "counter")
+        lines.append(_sample(name, row.get("labels", {}), row["value"]))
+    for row in snapshot.get("gauges", []):
+        name = metric_name(row["name"])
+        declare(name, "gauge")
+        lines.append(_sample(name, row.get("labels", {}), row["value"]))
+    for row in snapshot.get("histograms", []):
+        name = metric_name(row["name"])
+        declare(name, "summary")
+        labels = row.get("labels", {})
+        for quantile, key in SUMMARY_QUANTILES:
+            lines.append(
+                _sample(name, {**labels, "quantile": quantile}, row.get(key, 0.0))
+            )
+        lines.append(_sample(name + "_sum", labels, row.get("mean_ns", 0.0) * row.get("count", 0)))
+        lines.append(_sample(name + "_count", labels, row.get("count", 0)))
+    lines.extend(extra_lines)
+    return "\n".join(lines) + "\n"
+
+
+def counter_line(name: str, labels: Mapping[str, Any], value: Any) -> str:
+    """One pre-rendered counter sample for ``extra_lines``."""
+    return _sample(metric_name(name, "_total"), labels, value)
+
+
+def gauge_line(name: str, labels: Mapping[str, Any], value: Any) -> str:
+    """One pre-rendered gauge sample for ``extra_lines``."""
+    return _sample(metric_name(name), labels, value)

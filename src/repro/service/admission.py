@@ -152,6 +152,12 @@ class AdmissionController:
     meaningful at the engine's virtual submission time.
     """
 
+    #: Latched by the server's SLO watch engine (``--slo-backpressure``):
+    #: while True, every dispatch sees backpressure regardless of PTB
+    #: occupancy.  Class-level default so controllers pickled into
+    #: checkpoints before this attribute existed still load.
+    slo_latched = False
+
     def __init__(self, config: Optional[AdmissionConfig] = None):
         self.config = config or AdmissionConfig()
         self._buckets: Dict[int, TokenBucket] = {}
@@ -211,8 +217,12 @@ class AdmissionController:
         """Update the latch for a device; True while backpressure holds.
 
         Hysteresis: latches at/above the high watermark, releases only
-        at/below the low watermark.
+        at/below the low watermark.  An SLO-driven latch
+        (:attr:`slo_latched`) overrides: it holds until the watch engine
+        clears it, independent of this device's occupancy.
         """
+        if self.slo_latched:
+            return True
         high = self.config.ptb_high_watermark
         if high is None:
             return False
@@ -245,6 +255,7 @@ class AdmissionController:
         """
         self._in_flight.clear()
         self._latched.clear()
+        self.slo_latched = False
         for bucket in self._buckets.values():
             bucket.last = None
 

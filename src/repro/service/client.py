@@ -46,6 +46,7 @@ class ServiceClient:
         port: int = 0,
         sid: Optional[int] = None,
         connect_timeout: float = 10.0,
+        trace: bool = False,
     ):
         self.host = host
         self.port = port
@@ -53,6 +54,10 @@ class ServiceClient:
         #: (per-request SIDs).
         self.sid = sid
         self.connect_timeout = connect_timeout
+        #: Propagate span identity on every translate: one trace per
+        #: request, ids derived from ``seq`` so two identical replays
+        #: produce identical trees.  Old servers ignore the field.
+        self.trace = trace
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         #: Wall-clock RTTs of awaited single requests (load-gen latency).
@@ -136,9 +141,8 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Single requests
     # ------------------------------------------------------------------
-    @staticmethod
     def _translate_message(
-        packet: PacketRecord, seq: int, sid: Optional[int]
+        self, packet: PacketRecord, seq: int, sid: Optional[int]
     ) -> Dict[str, Any]:
         message: Dict[str, Any] = {
             "type": protocol.TRANSLATE,
@@ -150,6 +154,8 @@ class ServiceClient:
             message["inv"] = list(packet.invalidations)
         if sid is None:
             message["sid"] = packet.sid
+        if self.trace:
+            message["trace"] = {"trace_id": f"t{seq:x}", "span_id": f"c{seq:x}"}
         return message
 
     async def translate(self, packet: PacketRecord, seq: int = 0) -> Dict[str, Any]:
@@ -158,8 +164,12 @@ class ServiceClient:
             self._translate_message(packet, seq, self.sid)
         )
 
-    async def stats(self) -> Dict[str, Any]:
-        return await self._request({"type": protocol.STATS})
+    async def stats(self, fmt: Optional[str] = None) -> Dict[str, Any]:
+        """Live server stats; ``fmt="prom"`` asks for Prometheus text."""
+        message: Dict[str, Any] = {"type": protocol.STATS}
+        if fmt is not None:
+            message["format"] = fmt
+        return await self._request(message)
 
     async def ping(self) -> Dict[str, Any]:
         return await self._request({"type": protocol.PING})
@@ -292,16 +302,18 @@ def replay_trace(
     window: int = 64,
     flush: bool = False,
     connect_timeout: float = 10.0,
+    trace: bool = False,
 ):
     """Synchronous one-shot replay (CLI / tests / CI smoke).
 
     Returns ``(outcomes, flush_reply_or_None, client)`` — the client is
-    returned for its RTT samples and reconnect count.
+    returned for its RTT samples and reconnect count.  ``trace=True``
+    propagates per-request span identity (see :class:`ServiceClient`).
     """
 
     async def _run():
         client = ServiceClient(
-            host, port, sid=sid, connect_timeout=connect_timeout
+            host, port, sid=sid, connect_timeout=connect_timeout, trace=trace
         )
         await client.connect()
         try:

@@ -10,10 +10,19 @@ Requests::
 
     {"type": "hello", "schema": "repro-service/1", "sid": 3}
     {"type": "translate", "seq": 0, "giovas": [a, b, c], "size": 1542,
-     "inv": [page, ...], "sid": 5}
-    {"type": "stats"}
+     "inv": [page, ...], "sid": 5,
+     "trace": {"trace_id": "t1", "span_id": "c0"}}
+    {"type": "stats"}            # or {"type": "stats", "format": "prom"}
     {"type": "flush"}
     {"type": "ping"}
+
+The optional ``trace`` field carries a client-side
+:class:`~repro.obs.spans.SpanContext` so the server-side span tree
+(``wire.read -> admission / dispatch -> engine.step -> phases``) parents
+under the caller's span.  It is *feature-negotiated softly*: servers
+advertise ``"features": ["trace", ...]`` in ``hello_ok``, but an old
+server simply ignores the unknown field and an old client simply never
+sends it — both directions interoperate with no version bump.
 
 ``hello`` binds the connection to one tenant (its SID); every subsequent
 ``translate`` is accounted to that tenant.  A ``hello`` without a SID
@@ -38,8 +47,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.spans import SpanContext
+
 #: Protocol schema tag; sent in ``hello`` both ways and in ``stats``.
 PROTOCOL_SCHEMA = "repro-service/1"
+
+#: Optional capabilities this revision understands, advertised in
+#: ``hello_ok``.  Additions here never bump the schema: every feature
+#: rides an optional field old peers ignore.
+PROTOCOL_FEATURES = ("trace", "prom_stats")
 
 # Request types ---------------------------------------------------------
 HELLO = "hello"
@@ -192,12 +208,39 @@ class PacketOutcome:
         )
 
 
+def parse_trace_context(message: Dict[str, Any]) -> Optional[SpanContext]:
+    """Decode the optional ``trace`` field of a request.
+
+    Returns ``None`` when absent (an old client — fully supported), the
+    :class:`~repro.obs.spans.SpanContext` when well-formed, and raises
+    :class:`ProtocolError` when present but malformed: a peer that
+    *tries* to propagate trace identity deserves a loud failure, not a
+    silently unparented span tree.
+    """
+    raw = message.get("trace")
+    if raw is None:
+        return None
+    if (
+        not isinstance(raw, dict)
+        or not isinstance(raw.get("trace_id"), str)
+        or not isinstance(raw.get("span_id"), str)
+    ):
+        raise ProtocolError(
+            "'trace' must be an object with string 'trace_id' and 'span_id'"
+        )
+    return SpanContext.from_wire(raw)
+
+
 def parse_translate(
     message: Dict[str, Any], bound_sid: Optional[int]
-) -> Tuple[int, int, Tuple[int, int, int], int, Tuple[int, ...]]:
+) -> Tuple[
+    int, int, Tuple[int, int, int], int, Tuple[int, ...], Optional[SpanContext]
+]:
     """Validate a ``translate`` request; returns its decoded fields.
 
-    Returns ``(seq, sid, giovas, size_bytes, invalidations)``.  Raises
+    Returns ``(seq, sid, giovas, size_bytes, invalidations, trace_ctx)``
+    where ``trace_ctx`` is ``None`` unless the client propagated span
+    identity (see :func:`parse_trace_context`).  Raises
     :class:`ProtocolError` with a precise message on any malformed field,
     so the server can answer ``bad_request`` naming the offending part.
     """
@@ -222,4 +265,5 @@ def parse_translate(
     inv = message.get("inv", [])
     if not isinstance(inv, list) or not all(isinstance(p, int) for p in inv):
         raise ProtocolError("'inv' must be a list of integer page numbers")
-    return seq, sid, (giovas[0], giovas[1], giovas[2]), size, tuple(inv)
+    trace_ctx = parse_trace_context(message)
+    return seq, sid, (giovas[0], giovas[1], giovas[2]), size, tuple(inv), trace_ctx

@@ -41,10 +41,29 @@ import asyncio
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.obs.phases import PHASE_LOOKUP, PHASE_PTB, PHASE_WALK
+from repro.obs.prom import counter_line, gauge_line, registry_to_prom
+from repro.obs.slo import SloSample, SloWatcher
 from repro.service import protocol
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.engine import ServiceEngine, load_service_checkpoint
 from repro.trace.records import PacketRecord
+
+#: Dispatched packets between SLO-rule evaluations (cheap, but there is
+#: no reason to re-derive percentiles on every single packet).
+SLO_EVAL_INTERVAL = 16
+
+#: Span names of the server-side request tree, in parent order.
+SPAN_WIRE = "wire.read"
+SPAN_ADMISSION = "admission"
+SPAN_DISPATCH = "dispatch"
+SPAN_ENGINE = "engine.step"
+#: Phase-profiler segments surfaced as synthesized engine.step children.
+SPAN_PHASE_NAMES = (
+    (PHASE_LOOKUP, "cache.lookup"),
+    (PHASE_WALK, "walk"),
+    (PHASE_PTB, "ptb"),
+)
 
 
 class _Connection:
@@ -85,6 +104,20 @@ class ServiceServer:
     checkpoint_path:
         Where graceful shutdown flushes the warm-restart snapshot;
         ``None`` disables the snapshot (shutdown still drains cleanly).
+    spans:
+        Optional :class:`~repro.obs.spans.SpanRecorder`.  When attached,
+        every translate grows a parented span tree (``wire.read`` ->
+        ``admission`` / ``dispatch`` -> ``engine.step`` -> phase
+        children), rooted under the client's wire-propagated
+        :class:`~repro.obs.spans.SpanContext` when one was sent.
+    slo_watcher:
+        Optional :class:`~repro.obs.slo.SloWatcher`, evaluated against
+        live engine state every :data:`SLO_EVAL_INTERVAL` dispatched
+        packets.
+    slo_backpressure:
+        When true, any breached SLO rule latches service-wide admission
+        backpressure (sheds/pauses like the PTB watermark gate) until
+        every rule recovers.
     """
 
     def __init__(
@@ -95,6 +128,9 @@ class ServiceServer:
         port: int = 0,
         checkpoint_path=None,
         clock=time.monotonic,
+        spans=None,
+        slo_watcher: Optional[SloWatcher] = None,
+        slo_backpressure: bool = False,
     ):
         self.engine = engine
         if isinstance(admission, AdmissionController):
@@ -105,6 +141,12 @@ class ServiceServer:
         self.port = port
         self.checkpoint_path = checkpoint_path
         self._clock = clock
+        #: Null-object resolution, like the simulator's: a disabled
+        #: recorder never reaches the dispatch path.
+        self.spans = spans if (spans is not None and spans.enabled) else None
+        self.slo_watcher = slo_watcher
+        self.slo_backpressure = slo_backpressure
+        self._dispatched_since_slo = 0
         self._server: Optional[asyncio.base_events.Server] = None
         # Created in start(): on Python 3.9 asyncio primitives bind to the
         # event loop current at construction, which must be the running one.
@@ -188,17 +230,25 @@ class ServiceServer:
         engine = self.engine
         admission = self.admission
         queue = self._queue
+        spans = self.spans
         while True:
             item = await queue.get()
             if item is None:
                 queue.task_done()
                 return
-            conn, seq, packet = item
+            conn, seq, packet, wire_span = item
+            dispatch_span = None
+            if spans is not None:
+                dispatch_span = spans.start(
+                    SPAN_DISPATCH, parent=wire_span, sid=packet.sid, seq=seq
+                )
             try:
                 if conn.closed:
                     # Client died with this request still queued: discard
                     # it before the engine sees it — no engine-state leak.
                     admission.release(packet.sid)
+                    if dispatch_span is not None:
+                        dispatch_span.attrs["outcome"] = "discarded"
                     continue
                 device_id = engine.device_for_sid(packet.sid)
                 occupancy = engine.ptb_occupancy(device_id)
@@ -215,10 +265,21 @@ class ServiceServer:
                                 seq=seq,
                             )
                         )
+                        if dispatch_span is not None:
+                            dispatch_span.attrs["outcome"] = "shed"
                         continue
                     engine.stall_until_drained(
                         device_id, admission.config.low_watermark()
                     )
+                step_span = None
+                phase_before = None
+                phases = engine.sim._phases
+                if spans is not None:
+                    step_span = spans.start(
+                        SPAN_ENGINE, parent=dispatch_span, sid=packet.sid
+                    )
+                    if phases is not None:
+                        phase_before = phases.totals()
                 try:
                     outcome = engine.submit(packet)
                 except Exception as error:
@@ -228,11 +289,24 @@ class ServiceServer:
                             protocol.E_TRANSLATION, str(error), seq=seq
                         )
                     )
+                    if step_span is not None:
+                        spans.finish(step_span, error=str(error))
+                        dispatch_span.attrs["outcome"] = "error"
                     continue
+                if step_span is not None:
+                    spans.finish(step_span, accepted=outcome.accepted)
+                    if phase_before is not None:
+                        self._add_phase_spans(
+                            step_span, phase_before, phases.totals(), packet.sid
+                        )
+                    dispatch_span.attrs["outcome"] = outcome.status
                 admission.release(packet.sid)
                 conn.send(outcome.to_wire(seq))
                 self.results_sent += 1
             finally:
+                if dispatch_span is not None:
+                    spans.finish(dispatch_span)
+                self._maybe_evaluate_slo()
                 queue.task_done()
             # Yield so connection handlers and writers get scheduled
             # between packets even under a full queue.
@@ -241,6 +315,86 @@ class ServiceServer:
                     await conn.writer.drain()
                 except ConnectionError:
                     conn.closed = True
+
+    def _add_phase_spans(self, step_span, before, after, sid: int) -> None:
+        """Synthesize phase children under one finished ``engine.step``.
+
+        The phase profiler only keeps totals, so each phase's host-ns
+        delta across this submit is laid out sequentially from the step
+        span's start — durations are exact, intra-step interleaving is
+        not (the phases run once per translation, three per packet).
+        """
+        spans = self.spans
+        cursor = step_span.start_ns
+        for phase, name in SPAN_PHASE_NAMES:
+            delta = after.get(phase, 0) - before.get(phase, 0)
+            if delta <= 0:
+                continue
+            spans.add(
+                name,
+                step_span.trace_id,
+                step_span.span_id,
+                cursor,
+                cursor + delta,
+                sid=sid,
+                phase=phase,
+            )
+            cursor += delta
+
+    # ------------------------------------------------------------------
+    # SLO watch engine
+    # ------------------------------------------------------------------
+    def _maybe_evaluate_slo(self) -> None:
+        if self.slo_watcher is None:
+            return
+        self._dispatched_since_slo += 1
+        if self._dispatched_since_slo < SLO_EVAL_INTERVAL:
+            return
+        self._dispatched_since_slo = 0
+        self.evaluate_slo()
+
+    def evaluate_slo(self):
+        """Evaluate the SLO rules against live engine state now.
+
+        Runs automatically every :data:`SLO_EVAL_INTERVAL` dispatched
+        packets; callable directly (tests, future admin endpoints).
+        Returns the watcher's state transitions.
+        """
+        watcher = self.slo_watcher
+        if watcher is None:
+            return []
+        sim = self.engine.sim
+        stats = sim.packet_stats
+        arrived = stats.arrived
+
+        def drop_rate(cause: str) -> float:
+            if not arrived:
+                return 0.0
+            dropped = (
+                stats.dropped
+                if cause == "any"
+                else stats.drop_causes.get(cause, 0)
+            )
+            return dropped / arrived
+
+        occupancy = 0
+        model_ns = 0.0
+        for engine in sim.engines:
+            occupancy = max(occupancy, engine.device.ptb.occupancy(engine.clock))
+            model_ns = max(model_ns, engine.clock)
+        transitions = watcher.evaluate(
+            SloSample(
+                latency_percentile=sim.latency_stats.percentile,
+                drop_rate=drop_rate,
+                ptb_occupancy=occupancy,
+                model_ns=model_ns,
+            )
+        )
+        if self.slo_backpressure:
+            # Breach latches service-wide backpressure; the dispatcher's
+            # existing shed/pause machinery does the rest.
+            self.admission.slo_latched = watcher.any_breached
+        return transitions
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -306,12 +460,16 @@ class ServiceServer:
                     "schema": protocol.PROTOCOL_SCHEMA,
                     "sid": sid,
                     "num_devices": self.engine.num_devices,
+                    "features": list(protocol.PROTOCOL_FEATURES),
                 }
             )
         elif kind == protocol.TRANSLATE:
             self._handle_translate(conn, message)
         elif kind == protocol.STATS:
-            conn.send(self.stats_reply())
+            if message.get("format") == "prom":
+                conn.send(self.prom_stats_reply())
+            else:
+                conn.send(self.stats_reply())
         elif kind == protocol.FLUSH:
             await self._handle_flush(conn)
         elif kind == protocol.PING:
@@ -329,7 +487,7 @@ class ServiceServer:
 
     def _handle_translate(self, conn: _Connection, message: Dict[str, Any]) -> None:
         try:
-            seq, sid, giovas, size, inv = protocol.parse_translate(
+            seq, sid, giovas, size, inv, trace_ctx = protocol.parse_translate(
                 message, conn.bound_sid
             )
         except protocol.ProtocolError as error:
@@ -340,6 +498,18 @@ class ServiceServer:
             )
             return
         self.requests_received += 1
+        spans = self.spans
+        wire_span = None
+        if spans is not None:
+            # Root of this request's server-side tree; parents under the
+            # client's wire-propagated context when one was sent.
+            wire_span = spans.start(
+                SPAN_WIRE,
+                trace_id=trace_ctx.trace_id if trace_ctx is not None else None,
+                parent_id=trace_ctx.span_id if trace_ctx is not None else None,
+                sid=sid,
+                seq=seq,
+            )
         if self._draining:
             conn.send(
                 protocol.error_reply(
@@ -348,6 +518,8 @@ class ServiceServer:
                     seq=seq,
                 )
             )
+            if wire_span is not None:
+                spans.finish(wire_span, refused=protocol.E_RESTARTING)
             return
         if not self.engine.knows_sid(sid):
             conn.send(
@@ -357,19 +529,32 @@ class ServiceServer:
                     seq=seq,
                 )
             )
+            if wire_span is not None:
+                spans.finish(wire_span, refused=protocol.E_UNKNOWN_SID)
             return
-        denied = self.admission.acquire(sid, self._clock())
+        if spans is not None:
+            admission_span = spans.start(SPAN_ADMISSION, parent=wire_span)
+            denied = self.admission.acquire(sid, self._clock())
+            spans.finish(admission_span, verdict=denied or "admitted")
+        else:
+            denied = self.admission.acquire(sid, self._clock())
         if denied is not None:
             conn.send(
                 protocol.error_reply(
                     denied, f"admission denied for sid {sid}", seq=seq
                 )
             )
+            if wire_span is not None:
+                spans.finish(wire_span, refused=denied)
             return
         packet = PacketRecord(
             sid=sid, giovas=giovas, size_bytes=size, invalidations=inv
         )
-        self._queue.put_nowait((conn, seq, packet))
+        if wire_span is not None:
+            # wire.read covers parse + admission; the dispatcher's spans
+            # parent under it by id, so finishing before enqueue is safe.
+            spans.finish(wire_span, queued=True)
+        self._queue.put_nowait((conn, seq, packet, wire_span))
 
     async def _handle_flush(self, conn: _Connection) -> None:
         """End-of-stream: drain the queue, then build the final result.
@@ -434,7 +619,51 @@ class ServiceServer:
                     ).value,
                 }
             reply["per_sid"] = per_sid
+        if self.slo_watcher is not None:
+            reply["slo"] = self.slo_watcher.snapshot()
         return reply
+
+    def prom_text(self) -> str:
+        """Prometheus exposition text: live registry + wire-level series.
+
+        The registry snapshot renders through
+        :func:`repro.obs.prom.registry_to_prom`; service counters that
+        live outside the registry (wire traffic, queue depth) and the
+        per-rule SLO breach flags ride along as extra lines, so one
+        scrape covers the whole server.
+        """
+        metrics = self.engine.sim._metrics
+        snapshot = metrics.snapshot() if metrics is not None else {}
+        extra = [
+            counter_line("service_requests", {}, self.requests_received),
+            counter_line("service_results", {}, self.results_sent),
+            counter_line("service_processed", {}, self.engine.processed),
+            gauge_line(
+                "service_queue_depth",
+                {},
+                self._queue.qsize() if self._queue is not None else 0,
+            ),
+        ]
+        watcher = self.slo_watcher
+        if watcher is not None:
+            for rule in watcher.rules:
+                extra.append(
+                    gauge_line(
+                        "slo_breached",
+                        {"rule": rule.name, "kind": rule.kind},
+                        int(watcher.breached[rule.name]),
+                    )
+                )
+        return registry_to_prom(snapshot, extra_lines=extra)
+
+    def prom_stats_reply(self) -> Dict[str, Any]:
+        """The ``stats --format prom`` response (text payload)."""
+        return {
+            "type": protocol.STATS_REPLY,
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "format": "prom",
+            "text": self.prom_text(),
+        }
 
 
 def build_server(
@@ -447,6 +676,8 @@ def build_server(
     fault_plan=None,
     checkpoint_path=None,
     resume_from=None,
+    slo_rules=None,
+    slo_backpressure: bool = False,
 ) -> ServiceServer:
     """Assemble a server around a fresh or warm-restarted engine.
 
@@ -456,7 +687,23 @@ def build_server(
     but resets process-bound runtime (in-flight counts, backpressure
     latches, token-bucket refill clocks, which reference the dead
     process's monotonic epoch).
+
+    ``observability`` feeds the engine's simulator as before; its
+    ``spans`` recorder (if any) additionally attaches to the server for
+    wire-to-engine request trees.  ``slo_rules`` (a list of
+    :class:`~repro.obs.slo.SloRule`) arms the SLO watch engine, emitting
+    ``slo.*`` events through the bundle's tracer; ``slo_backpressure``
+    lets a breach drive admission backpressure.
     """
+    spans = (
+        getattr(observability, "spans", None)
+        if observability is not None
+        else None
+    )
+    watcher = None
+    if slo_rules:
+        tracer = observability.tracer if observability is not None else None
+        watcher = SloWatcher(slo_rules, tracer=tracer)
     if resume_from is not None:
         engine, state = load_service_checkpoint(resume_from, expect_config=config)
         controller = state.get("admission")
@@ -472,6 +719,9 @@ def build_server(
             host=host,
             port=port,
             checkpoint_path=checkpoint_path,
+            spans=spans,
+            slo_watcher=watcher,
+            slo_backpressure=slo_backpressure,
         )
     engine = ServiceEngine(
         config, trace, observability=observability, fault_plan=fault_plan
@@ -482,4 +732,7 @@ def build_server(
         host=host,
         port=port,
         checkpoint_path=checkpoint_path,
+        spans=spans,
+        slo_watcher=watcher,
+        slo_backpressure=slo_backpressure,
     )

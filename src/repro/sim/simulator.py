@@ -99,6 +99,9 @@ class HyperSimulator:
         tracer = observability.tracer if obs_on else None
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
         self._metrics = observability.metrics if obs_on else None
+        # ``getattr`` keeps bundles pickled before phase profiling existed
+        # loadable from old checkpoints.
+        self._phases = getattr(observability, "phases", None) if obs_on else None
         self._oracle: Optional[FutureOracle] = None
         next_use = None
         if config.devtlb.policy.lower() == "oracle":
@@ -434,6 +437,9 @@ class HyperSimulator:
             percentiles=percentiles,
             device_results=device_results,
             fabric=fabric_stats,
+            phase_profile=(
+                self._phases.snapshot() if self._phases is not None else {}
+            ),
         )
 
     def _device_result(

@@ -259,7 +259,7 @@ class TestServerAdmission:
             queued = trace.packets[:5]
             for seq, packet in enumerate(queued):
                 assert server.admission.acquire(packet.sid, 0.0) is None
-                server._queue.put_nowait((conn, seq, packet))
+                server._queue.put_nowait((conn, seq, packet, None))
             # The client dies before the dispatcher reaches its requests.
             conn.closed = True
             await server._queue.join()
