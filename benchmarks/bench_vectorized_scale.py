@@ -1,0 +1,192 @@
+"""Paper-scale replay study for the vectorized batch engine.
+
+Replays a >=10M-request (3,334,000-packet, ~3 gIOVAs each) 1024-tenant
+RR1 iperf3 trace through :class:`~repro.sim.vectorized.VectorizedSimulator`
+across a PTB-entries sweep, reporting throughput (host packets/s and
+modeled link utilisation) and drop-rate curves, plus a parity + speedup
+check against the analytic engine on a prefix of the same trace (running
+the analytic engine over all 3.3M packets per point would take hours —
+that is the point of this study).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized_scale.py \
+        [--packets 3334000] [--ptb 1,2,4,8,16,32] \
+        [--parity-packets 51200] [--out vector_scale.json]
+
+The trace is constructed once and shared across sweep points (simulators
+never mutate tenant systems), so the dominant setup cost is paid once.
+The numbers feed the "Vectorized engine at paper scale" study in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.core.config import ArchConfig, TlbConfig, base_config
+from repro.runner.serialize import result_to_dict
+from repro.sim.simulator import HyperSimulator
+from repro.sim.vectorized import VectorizedSimulator
+from repro.trace.constructor import construct_trace
+from repro.trace.tenant import profile_by_name
+
+TENANTS = 1024
+BENCHMARK = "iperf3"
+INTERLEAVING = "RR1"
+SEED = 0
+
+
+def vector_config(ptb_entries: int) -> ArchConfig:
+    """Base geometry, LRU in every TLB level, with the given PTB depth."""
+
+    def lru(tlb: TlbConfig) -> TlbConfig:
+        return TlbConfig(
+            num_entries=tlb.num_entries,
+            ways=tlb.ways,
+            num_partitions=tlb.num_partitions,
+            policy="lru",
+        )
+
+    config = base_config()
+    return config.with_overrides(
+        name=f"Base-LRU/ptb{ptb_entries}",
+        ptb_entries=ptb_entries,
+        devtlb=lru(config.devtlb),
+        l2_tlb=lru(config.l2_tlb),
+        l3_tlb=lru(config.l3_tlb),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--packets", type=int, default=3_334_000,
+        help="trace length in packets (default: 3,334,000 — just over "
+             "10M translation requests at ~3 gIOVAs per packet)",
+    )
+    parser.add_argument(
+        "--ptb", default="1,2,4,8,16,32",
+        help="comma-separated PTB depths to sweep (default: 1,2,4,8,16,32)",
+    )
+    parser.add_argument(
+        "--parity-packets", type=int, default=51_200,
+        help="prefix length for the analytic parity/speedup check "
+             "(default: 51200; 0 disables it)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the rows as JSON",
+    )
+    args = parser.parse_args(argv)
+    ptb_depths = [int(p) for p in args.ptb.split(",")]
+
+    print(
+        f"constructing {args.packets} packets, {TENANTS} tenants "
+        f"({BENCHMARK}/{INTERLEAVING}, seed {SEED}) ..."
+    )
+    started = time.perf_counter()
+    trace = construct_trace(
+        profile_by_name(BENCHMARK),
+        num_tenants=TENANTS,
+        packets_per_tenant=200_000,
+        interleaving=INTERLEAVING,
+        seed=SEED,
+        max_packets=args.packets,
+    )
+    n = len(trace.packets)
+    requests = sum(len(p.giovas) for p in trace.packets)
+    print(
+        f"  {n} packets / {requests} translation requests "
+        f"in {time.perf_counter() - started:.1f} s"
+    )
+
+    rows = []
+    parity_row = None
+    if args.parity_packets:
+        prefix = min(args.parity_packets, n)
+        config = vector_config(ptb_depths[0])
+        started = time.perf_counter()
+        analytic = HyperSimulator(config, trace).run(max_packets=prefix)
+        analytic_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        vectorized = VectorizedSimulator(config, trace).run(max_packets=prefix)
+        vector_wall = time.perf_counter() - started
+        parity = (
+            json.dumps(result_to_dict(analytic), sort_keys=True)
+            == json.dumps(result_to_dict(vectorized), sort_keys=True)
+        )
+        speedup = analytic_wall / vector_wall if vector_wall > 0 else 0.0
+        parity_row = {
+            "prefix_packets": prefix,
+            "ptb_entries": ptb_depths[0],
+            "analytic_wall_s": analytic_wall,
+            "vectorized_wall_s": vector_wall,
+            "speedup": speedup,
+            "parity": parity,
+        }
+        print(
+            f"parity prefix ({prefix} pkts, ptb={ptb_depths[0]}): "
+            f"analytic {analytic_wall:.1f} s, vectorized {vector_wall:.1f} s "
+            f"-> {speedup:.1f}x, parity={'ok' if parity else 'FAILED'}"
+        )
+        if not parity:
+            return 1
+
+    header = (
+        f"{'ptb':>4} {'wall_s':>8} {'pkts/s':>9} {'req/s':>9} "
+        f"{'util%':>6} {'drop%':>6} {'drops':>9} {'leaped':>7}"
+    )
+    print(header)
+    for depth in ptb_depths:
+        simulator = VectorizedSimulator(vector_config(depth), trace)
+        started = time.perf_counter()
+        result = simulator.run()
+        wall = time.perf_counter() - started
+        arrived = result.packets.arrived
+        dropped = result.packets.dropped
+        row = {
+            "ptb_entries": depth,
+            "packets": n,
+            "requests": requests,
+            "wall_s": wall,
+            "packets_per_s": n / wall if wall > 0 else 0.0,
+            "requests_per_s": requests / wall if wall > 0 else 0.0,
+            "link_utilization": result.link_utilization,
+            "drop_rate": dropped / arrived if arrived else 0.0,
+            "packets_dropped": dropped,
+            "blocks_leaped": simulator.batch_stats["blocks_leaped"],
+            "mode": simulator.batch_stats["mode"],
+        }
+        rows.append(row)
+        print(
+            f"{depth:>4} {wall:>8.1f} {row['packets_per_s']:>9.0f} "
+            f"{row['requests_per_s']:>9.0f} "
+            f"{result.link_utilization * 100:>6.2f} "
+            f"{row['drop_rate'] * 100:>6.2f} {dropped:>9} "
+            f"{row['blocks_leaped']:>7}"
+        )
+
+    if args.out:
+        document = {
+            "schema": "repro-vector-scale/1",
+            "tenants": TENANTS,
+            "benchmark": BENCHMARK,
+            "interleaving": INTERLEAVING,
+            "seed": SEED,
+            "packets": n,
+            "requests": requests,
+            "parity_check": parity_row,
+            "rows": rows,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,15 +4,19 @@
 Usage::
 
     python scripts/bench_gate.py NEW.json BASELINE.json \
-        [--max-regression 0.6]
+        [--max-regression 0.4]
 
 Rows are matched by ``(engine, config)`` and compared on
 ``packets_per_s``.  A row is a violation when it runs slower than
-``baseline * (1 - max_regression)`` — the default tolerates a 60% drop,
-which is deliberately generous: CI machines differ wildly and the gate
-exists to catch order-of-magnitude hot-loop regressions, not noise.
-Rows present on only one side are reported but never fail the gate, so
-the matrix is allowed to grow.
+``baseline * (1 - max_regression)`` — the default tolerates a 40% drop:
+still generous (CI machines differ), but tight enough that a hot-loop
+regression of 2x cannot hide behind machine drift.  Rows present on
+only one side are reported but never fail the gate, so the matrix is
+allowed to grow; rows whose packet budgets differ are reported but not
+gated either (throughput is only comparable at equal budgets — the
+vectorized engine in particular gets faster per packet as the trace
+grows, so a reduced-budget CI run must not be held to the committed
+full-budget rate).
 
 Exit status: 0 when every common row passes, 1 on any violation, 2 on
 unreadable input.
@@ -31,7 +35,10 @@ def load_rows(path: Path):
     if document.get("schema") != "repro-bench/1":
         raise ValueError(f"not a repro-bench/1 document: {path}")
     return {
-        (row["engine"], row["config"]): float(row["packets_per_s"])
+        (row["engine"], row["config"]): (
+            float(row["packets_per_s"]),
+            int(row.get("packets", 0)),
+        )
         for row in document["results"]
     }
 
@@ -41,9 +48,9 @@ def main(argv=None) -> int:
     parser.add_argument("new", help="freshly produced bench JSON")
     parser.add_argument("baseline", help="committed baseline bench JSON")
     parser.add_argument(
-        "--max-regression", type=float, default=0.6, metavar="FRACTION",
+        "--max-regression", type=float, default=0.4, metavar="FRACTION",
         help="largest tolerated packets/s drop as a 0..1 fraction "
-             "(default: 0.6)",
+             "(default: 0.4)",
     )
     args = parser.parse_args(argv)
 
@@ -57,10 +64,16 @@ def main(argv=None) -> int:
     violations = []
     for key in sorted(new_rows):
         engine, config = key
-        new_rate = new_rows[key]
-        base_rate = base_rows.get(key)
-        if base_rate is None:
+        new_rate, new_packets = new_rows[key]
+        if key not in base_rows:
             print(f"  {engine}/{config}: (new row, not gated)")
+            continue
+        base_rate, base_packets = base_rows[key]
+        if new_packets != base_packets:
+            print(
+                f"  {engine}/{config}: (budget changed, "
+                f"{base_packets} -> {new_packets} pkts, not gated)"
+            )
             continue
         floor = base_rate * (1.0 - args.max_regression)
         change = (new_rate - base_rate) / base_rate * 100.0 if base_rate else 0.0

@@ -92,10 +92,11 @@ def plan_driver(
         native: bool,
         seed: int,
         fault_plan=None,
+        engine: str = "analytic",
     ) -> SimulationResult:
         spec = JobSpec.from_point(
             config, benchmark, num_tenants, interleaving, scale,
-            seed=seed, native=native, fault_plan=fault_plan,
+            seed=seed, native=native, fault_plan=fault_plan, engine=engine,
         )
         if spec.spec_hash not in seen:
             seen.add(spec.spec_hash)
@@ -136,10 +137,11 @@ def run_experiment(
         native: bool,
         seed: int,
         fault_plan=None,
+        engine: str = "analytic",
     ) -> Optional[SimulationResult]:
         spec = JobSpec.from_point(
             config, benchmark, num_tenants, interleaving, scale,
-            seed=seed, native=native, fault_plan=fault_plan,
+            seed=seed, native=native, fault_plan=fault_plan, engine=engine,
         )
         # A miss (nondeterministic driver) falls back to in-process
         # simulation inside run_point — correct, just not parallel.

@@ -53,6 +53,12 @@ class JobSpec:
     #: twin; omitted from serialisation when ``None`` so every pre-fault
     #: hash is unchanged.
     fault_plan: Optional[Dict[str, Any]] = None
+    #: Simulator implementation (``analytic`` / ``evented`` /
+    #: ``vectorized``).  Part of the content hash when not the default,
+    #: so a point's provenance records how it was produced; omitted from
+    #: serialisation at the ``analytic`` default so every pre-engine
+    #: hash is unchanged.
+    engine: str = "analytic"
 
     @classmethod
     def from_point(
@@ -66,6 +72,7 @@ class JobSpec:
         seed: int = 0,
         native: bool = False,
         fault_plan=None,
+        engine: str = "analytic",
     ) -> "JobSpec":
         """Build the spec for ``run_point(config, benchmark, ...)``.
 
@@ -87,6 +94,7 @@ class JobSpec:
             seed=seed,
             native=native,
             fault_plan=fault_plan,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -104,6 +112,8 @@ class JobSpec:
         }
         if self.fault_plan is not None:
             document["fault_plan"] = dict(self.fault_plan)
+        if self.engine != "analytic":
+            document["engine"] = self.engine
         return document
 
     @classmethod
@@ -141,9 +151,10 @@ class JobSpec:
     def label(self) -> str:
         """Short human-readable identity for progress lines."""
         name = self.config.get("name", "?") if isinstance(self.config, dict) else "?"
+        suffix = "" if self.engine == "analytic" else f"/{self.engine}"
         return (
             f"{name}/{self.benchmark}/{self.num_tenants}t/"
-            f"{self.interleaving}/s{self.seed}"
+            f"{self.interleaving}/s{self.seed}{suffix}"
         )
 
 

@@ -193,6 +193,79 @@ class ServiceEngine:
             latency_ns=sim.latency_stats.total_ns - before_total,
         )
 
+    def submit_batch(self, packets) -> "list[PacketOutcome]":
+        """Run a whole wire read through the model in one call.
+
+        Semantically identical to calling :meth:`submit` once per packet
+        in order — same structure accesses, same per-packet outcomes —
+        but the attribute lookups and counter captures are hoisted out
+        of the loop, so the server's dispatcher can translate a drained
+        queue batch without per-packet call overhead.
+
+        Validation is *total*: every SID is checked before any packet
+        touches the model, so an :class:`UnknownTenantError` (or the
+        flush guard) raises with the engine state untouched — the server
+        can safely fall back to the per-packet path for a batch that
+        fails this precheck.
+        """
+        if self._flushed is not None:
+            raise RuntimeError("ServiceEngine already flushed")
+        valid = self._valid_sids
+        for packet in packets:
+            if packet.sid not in valid:
+                raise UnknownTenantError(packet.sid)
+        sim = self.sim
+        stats = sim.packet_stats
+        latency_stats = sim.latency_stats
+        outcomes = []
+        last_completion = self._last_completion
+        for packet in packets:
+            engine = sim.engines[self.device_for_sid(packet.sid)]
+            devtlb = engine.device.devtlb.stats
+            before_accepted = stats.accepted
+            before_retried = stats.retried
+            before_causes = dict(stats.drop_causes)
+            before_hits = devtlb.hits
+            before_misses = devtlb.misses
+            before_count = latency_stats.count
+            before_total = latency_stats.total_ns
+
+            engine.current_packet = packet
+            engine.current_is_retry = False
+            engine.next_time = engine.clock + engine.wire_time(packet)
+            first_arrival = engine.next_time
+            engine.begin_packet()
+            while True:
+                arrival = engine.next_time
+                if engine.try_admit(arrival):
+                    completion = engine.complete_packet(arrival)
+                    break
+            if completion > last_completion:
+                last_completion = completion
+
+            causes: Dict[str, int] = {}
+            for cause, count in stats.drop_causes.items():
+                delta = count - before_causes.get(cause, 0)
+                if delta:
+                    causes[cause] = delta
+            outcomes.append(
+                PacketOutcome(
+                    sid=packet.sid,
+                    accepted=stats.accepted - before_accepted > 0,
+                    drop_causes=causes,
+                    retried=stats.retried - before_retried,
+                    arrival_ns=first_arrival,
+                    completion_ns=completion,
+                    translations=latency_stats.count - before_count,
+                    devtlb_hits=devtlb.hits - before_hits,
+                    devtlb_misses=devtlb.misses - before_misses,
+                    latency_ns=latency_stats.total_ns - before_total,
+                )
+            )
+        self._last_completion = last_completion
+        self.processed += len(outcomes)
+        return outcomes
+
     # ------------------------------------------------------------------
     def flush(self) -> SimulationResult:
         """End-of-stream accounting; returns the aggregate result.

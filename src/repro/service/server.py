@@ -131,6 +131,7 @@ class ServiceServer:
         spans=None,
         slo_watcher: Optional[SloWatcher] = None,
         slo_backpressure: bool = False,
+        batch_window: int = 64,
     ):
         self.engine = engine
         if isinstance(admission, AdmissionController):
@@ -147,6 +148,10 @@ class ServiceServer:
         self.slo_watcher = slo_watcher
         self.slo_backpressure = slo_backpressure
         self._dispatched_since_slo = 0
+        #: Max queued requests translated per dispatcher pass; 1 restores
+        #: strict per-packet dispatch (batching never reorders — packets
+        #: drain in FIFO order either way).
+        self.batch_window = max(1, batch_window)
         self._server: Optional[asyncio.base_events.Server] = None
         # Created in start(): on Python 3.9 asyncio primitives bind to the
         # event loop current at construction, which must be the running one.
@@ -159,6 +164,9 @@ class ServiceServer:
         #: Wall-clock service counters (wire-level, not modeled).
         self.requests_received = 0
         self.results_sent = 0
+        #: Requests translated via the whole-batch fast path vs one at a
+        #: time (observability for the dispatcher's batching behaviour).
+        self.batched_requests = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -230,91 +238,153 @@ class ServiceServer:
         engine = self.engine
         admission = self.admission
         queue = self._queue
-        spans = self.spans
         while True:
             item = await queue.get()
             if item is None:
                 queue.task_done()
                 return
-            conn, seq, packet, wire_span = item
-            dispatch_span = None
-            if spans is not None:
-                dispatch_span = spans.start(
-                    SPAN_DISPATCH, parent=wire_span, sid=packet.sid, seq=seq
-                )
-            try:
-                if conn.closed:
-                    # Client died with this request still queued: discard
-                    # it before the engine sees it — no engine-state leak.
-                    admission.release(packet.sid)
-                    if dispatch_span is not None:
-                        dispatch_span.attrs["outcome"] = "discarded"
-                    continue
-                device_id = engine.device_for_sid(packet.sid)
-                occupancy = engine.ptb_occupancy(device_id)
-                if admission.check_backpressure(device_id, occupancy):
-                    if admission.config.backpressure_mode == "shed":
-                        engine.shed_slot(packet)
-                        admission.record_shed(packet.sid)
-                        admission.release(packet.sid)
-                        conn.send(
-                            protocol.error_reply(
-                                protocol.E_BACKPRESSURE,
-                                f"PTB occupancy {occupancy} at high watermark; "
-                                f"request shed",
-                                seq=seq,
-                            )
-                        )
-                        if dispatch_span is not None:
-                            dispatch_span.attrs["outcome"] = "shed"
-                        continue
-                    engine.stall_until_drained(
-                        device_id, admission.config.low_watermark()
-                    )
-                step_span = None
-                phase_before = None
-                phases = engine.sim._phases
-                if spans is not None:
-                    step_span = spans.start(
-                        SPAN_ENGINE, parent=dispatch_span, sid=packet.sid
-                    )
-                    if phases is not None:
-                        phase_before = phases.totals()
+            # One dispatcher pass: drain everything already queued (one
+            # wire read's worth of requests, up to the batch window)
+            # without yielding, then write replies and drain writers
+            # once per touched connection.
+            batch = [item]
+            stop = False
+            while len(batch) < self.batch_window:
                 try:
-                    outcome = engine.submit(packet)
-                except Exception as error:
+                    extra = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:
+                    stop = True
+                    break
+                batch.append(extra)
+            touched: Dict[int, _Connection] = {}
+            if (
+                len(batch) > 1
+                and self.spans is None
+                and admission.config.ptb_high_watermark is None
+                and not admission.slo_latched
+                and engine._flushed is None
+                and all(
+                    not it[0].closed and engine.knows_sid(it[2].sid)
+                    for it in batch
+                )
+            ):
+                # Whole-batch translate: no per-packet server-side branch
+                # can fire (no spans, no backpressure gate, every client
+                # alive, every SID known), so the engine runs the batch
+                # in one call with identical per-packet outcomes.
+                outcomes = engine.submit_batch([it[2] for it in batch])
+                self.batched_requests += len(outcomes)
+                for (conn, seq, packet, _), outcome in zip(batch, outcomes):
+                    try:
+                        admission.release(packet.sid)
+                        conn.send(outcome.to_wire(seq))
+                        self.results_sent += 1
+                        touched[id(conn)] = conn
+                    finally:
+                        self._maybe_evaluate_slo()
+                        queue.task_done()
+            else:
+                for it in batch:
+                    conn = self._dispatch_one(it)
+                    if conn is not None:
+                        touched[id(conn)] = conn
+            # Yield so connection handlers and writers get scheduled
+            # between passes even under a full queue.
+            for conn in touched.values():
+                if not conn.closed:
+                    try:
+                        await conn.writer.drain()
+                    except ConnectionError:
+                        conn.closed = True
+            if stop:
+                queue.task_done()
+                return
+
+    def _dispatch_one(self, item) -> Optional[_Connection]:
+        """Translate one queued request (the strict per-packet path).
+
+        Returns the connection a reply was written to, or ``None`` when
+        the request was discarded; the caller drains writers per pass.
+        """
+        engine = self.engine
+        admission = self.admission
+        queue = self._queue
+        spans = self.spans
+        conn, seq, packet, wire_span = item
+        dispatch_span = None
+        if spans is not None:
+            dispatch_span = spans.start(
+                SPAN_DISPATCH, parent=wire_span, sid=packet.sid, seq=seq
+            )
+        try:
+            if conn.closed:
+                # Client died with this request still queued: discard
+                # it before the engine sees it — no engine-state leak.
+                admission.release(packet.sid)
+                if dispatch_span is not None:
+                    dispatch_span.attrs["outcome"] = "discarded"
+                return None
+            device_id = engine.device_for_sid(packet.sid)
+            occupancy = engine.ptb_occupancy(device_id)
+            if admission.check_backpressure(device_id, occupancy):
+                if admission.config.backpressure_mode == "shed":
+                    engine.shed_slot(packet)
+                    admission.record_shed(packet.sid)
                     admission.release(packet.sid)
                     conn.send(
                         protocol.error_reply(
-                            protocol.E_TRANSLATION, str(error), seq=seq
+                            protocol.E_BACKPRESSURE,
+                            f"PTB occupancy {occupancy} at high watermark; "
+                            f"request shed",
+                            seq=seq,
                         )
                     )
-                    if step_span is not None:
-                        spans.finish(step_span, error=str(error))
-                        dispatch_span.attrs["outcome"] = "error"
-                    continue
-                if step_span is not None:
-                    spans.finish(step_span, accepted=outcome.accepted)
-                    if phase_before is not None:
-                        self._add_phase_spans(
-                            step_span, phase_before, phases.totals(), packet.sid
-                        )
-                    dispatch_span.attrs["outcome"] = outcome.status
+                    if dispatch_span is not None:
+                        dispatch_span.attrs["outcome"] = "shed"
+                    return conn
+                engine.stall_until_drained(
+                    device_id, admission.config.low_watermark()
+                )
+            step_span = None
+            phase_before = None
+            phases = engine.sim._phases
+            if spans is not None:
+                step_span = spans.start(
+                    SPAN_ENGINE, parent=dispatch_span, sid=packet.sid
+                )
+                if phases is not None:
+                    phase_before = phases.totals()
+            try:
+                outcome = engine.submit(packet)
+            except Exception as error:
                 admission.release(packet.sid)
-                conn.send(outcome.to_wire(seq))
-                self.results_sent += 1
-            finally:
-                if dispatch_span is not None:
-                    spans.finish(dispatch_span)
-                self._maybe_evaluate_slo()
-                queue.task_done()
-            # Yield so connection handlers and writers get scheduled
-            # between packets even under a full queue.
-            if not conn.closed:
-                try:
-                    await conn.writer.drain()
-                except ConnectionError:
-                    conn.closed = True
+                conn.send(
+                    protocol.error_reply(
+                        protocol.E_TRANSLATION, str(error), seq=seq
+                    )
+                )
+                if step_span is not None:
+                    spans.finish(step_span, error=str(error))
+                    dispatch_span.attrs["outcome"] = "error"
+                return conn
+            if step_span is not None:
+                spans.finish(step_span, accepted=outcome.accepted)
+                if phase_before is not None:
+                    self._add_phase_spans(
+                        step_span, phase_before, phases.totals(), packet.sid
+                    )
+                dispatch_span.attrs["outcome"] = outcome.status
+            admission.release(packet.sid)
+            conn.send(outcome.to_wire(seq))
+            self.results_sent += 1
+            return conn
+        finally:
+            if dispatch_span is not None:
+                spans.finish(dispatch_span)
+            self._maybe_evaluate_slo()
+            queue.task_done()
 
     def _add_phase_spans(self, step_span, before, after, sid: int) -> None:
         """Synthesize phase children under one finished ``engine.step``.

@@ -154,8 +154,10 @@ class TestCommands:
         calls = []
 
         def fake_run_point(config, benchmark, count, interleaving, scale,
-                           native=False, seed=0, fault_plan=None):
-            calls.append({"seed": seed, "max_packets": scale.max_packets})
+                           native=False, seed=0, fault_plan=None,
+                           engine="analytic"):
+            calls.append({"seed": seed, "max_packets": scale.max_packets,
+                          "engine": engine})
             return types.SimpleNamespace(utilization_percent=50.0)
 
         monkeypatch.setattr("repro.cli.run_point", fake_run_point)
@@ -173,7 +175,8 @@ class TestCommands:
         calls = []
 
         def fake_run_point(config, benchmark, count, interleaving, scale,
-                           native=False, seed=0, fault_plan=None):
+                           native=False, seed=0, fault_plan=None,
+                           engine="analytic"):
             calls.append(scale.max_packets)
             return types.SimpleNamespace(utilization_percent=50.0)
 

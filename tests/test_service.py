@@ -193,6 +193,49 @@ class TestServerEndToEnd:
             result_to_dict(result_from_dict(wire))
         )
 
+    def test_batched_dispatch_engages_and_matches_offline(self):
+        # A windowed replay backlogs the dispatcher queue, so passes pick
+        # up multiple requests and take the whole-batch translate path;
+        # the flushed result must still be byte-identical to offline.
+        config = hypertrio_config()
+        offline = offline_result(config)
+
+        async def run():
+            engine = ServiceEngine(config, make_trace())
+            server = ServiceServer(engine)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(make_trace().packets, window=64)
+            flush = await client.flush()
+            await client.close()
+            await server.shutdown()
+            return server, flush
+
+        server, flush = asyncio.run(run())
+        assert server.batched_requests > 0
+        assert result_from_dict(flush["result"]) == offline
+
+    def test_batch_window_one_restores_per_packet_dispatch(self):
+        config = hypertrio_config()
+        offline = offline_result(config)
+
+        async def run():
+            engine = ServiceEngine(config, make_trace())
+            server = ServiceServer(engine, batch_window=1)
+            await server.start()
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(make_trace().packets, window=64)
+            flush = await client.flush()
+            await client.close()
+            await server.shutdown()
+            return server, flush
+
+        server, flush = asyncio.run(run())
+        assert server.batched_requests == 0
+        assert result_from_dict(flush["result"]) == offline
+
     def test_stats_reports_live_per_sid_metrics(self):
         from repro.obs import Observability
 
