@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""CI chaos harness for the distributed experiment queue.
+
+End to end, against real ``repro-sim run --queue`` subprocesses sharing
+one SQLite queue and one result store:
+
+1. run the sweep single-host into a *golden* result store;
+2. start a fleet worker against a fresh queue, wait (via the queue
+   database) until it holds a claim mid-job, and SIGKILL it — no signal
+   handler, no release, exactly what a crashed host looks like;
+3. start two survivor workers; the dead worker's lease expires, one
+   survivor takes the claim over, and the fleet drains the queue;
+4. assert: every job terminal ``done``, at least one audited takeover,
+   **zero double-executions** (every point appears exactly once in
+   ``results.jsonl``), and every result payload **byte-identical** to
+   the golden single-host run's.
+
+Exits nonzero with a diagnostic on any deviation.  Run from the repo
+root: ``python scripts/queue_chaos.py`` (add ``--scale smoke`` for a
+quick local pass; CI runs the default scale, whose sweep includes the
+paper's 1024-tenant point).
+"""
+
+import argparse
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.runner import ExperimentQueue, ResultStore  # noqa: E402
+
+KILL_RETRIES = 5  # attempts to land the SIGKILL while a claim is held
+
+
+def worker_argv(args, runs_dir: Path, queue: Path, jobs: int):
+    return [
+        sys.executable, "-m", "repro.cli", "run",
+        "--experiment", args.experiment, "--scale", args.scale,
+        "--jobs", str(jobs), "--run-id", "fleet",
+        "--runs-dir", str(runs_dir), "--queue", str(queue),
+        "--lease", str(args.lease), "--no-progress",
+    ]
+
+
+def start_worker(argv) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return subprocess.Popen(
+        argv, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        env=env, cwd=str(REPO),
+    )
+
+
+def claimed_rows(queue_path: Path):
+    """Claimed (worker, spec_hash) pairs, [] while the db doesn't exist."""
+    try:
+        conn = sqlite3.connect(f"file:{queue_path}?mode=ro", uri=True)
+    except sqlite3.Error:
+        return []
+    try:
+        return conn.execute(
+            "SELECT claimed_by, spec_hash FROM jobs WHERE status='claimed'"
+        ).fetchall()
+    except sqlite3.Error:
+        return []
+    finally:
+        conn.close()
+
+
+def kill_claimer(args, runs_dir: Path, queue_path: Path) -> str:
+    """Start a worker, SIGKILL it while it holds a claim; returns its id.
+
+    The kill races the job finishing, so unlucky attempts (the claim
+    completed between our poll and the signal) are retried with a fresh
+    victim — each retry is cheap because finished points are memoized.
+    """
+    for attempt in range(1, KILL_RETRIES + 1):
+        victim = start_worker(worker_argv(args, runs_dir, queue_path, jobs=1))
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                raise SystemExit(
+                    f"victim worker finished the whole sweep (exit "
+                    f"{victim.returncode}) before it could be killed; "
+                    f"use a larger --scale"
+                )
+            held = claimed_rows(queue_path)
+            if held:
+                break
+            time.sleep(0.005)
+        else:
+            victim.kill()
+            raise SystemExit("victim worker never claimed a job")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+        orphaned = claimed_rows(queue_path)
+        if orphaned:
+            print(
+                f"killed worker {orphaned[0][0]} holding "
+                f"{len(orphaned)} claim(s) (attempt {attempt})"
+            )
+            return orphaned[0][0]
+        print(f"kill attempt {attempt} landed between jobs; retrying")
+    raise SystemExit(f"no claim survived the kill after {KILL_RETRIES} tries")
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="figure10")
+    parser.add_argument("--scale", default="default",
+                        choices=("smoke", "default", "full"))
+    parser.add_argument("--lease", type=float, default=3.0)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        golden_dir = Path(tmp) / "golden-runs"
+        fleet_dir = Path(tmp) / "fleet-runs"
+        queue_path = Path(tmp) / "queue.db"
+
+        print(f"golden single-host run ({args.experiment}, {args.scale})")
+        golden_run = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "run",
+                "--experiment", args.experiment, "--scale", args.scale,
+                "--jobs", "2", "--run-id", "golden",
+                "--runs-dir", str(golden_dir), "--no-progress",
+            ],
+            env=dict(
+                os.environ,
+                PYTHONPATH=str(REPO / "src") + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            ),
+            cwd=str(REPO), stdout=subprocess.DEVNULL, timeout=3600,
+        )
+        if golden_run.returncode != 0:
+            raise SystemExit(f"golden run exited {golden_run.returncode}")
+        golden = ResultStore(golden_dir, "golden")
+        if golden.completed_count == 0:
+            raise SystemExit("golden run produced no results")
+        print(f"golden: {golden.completed_count} results")
+
+        dead_worker = kill_claimer(args, fleet_dir, queue_path)
+
+        survivors = [
+            start_worker(worker_argv(args, fleet_dir, queue_path, jobs=2))
+            for _ in range(2)
+        ]
+        for proc in survivors:
+            try:
+                proc.wait(timeout=3600)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise SystemExit("survivor worker hung")
+        codes = [proc.returncode for proc in survivors]
+        if any(code != 0 for code in codes):
+            raise SystemExit(f"survivor workers exited {codes}")
+
+        with ExperimentQueue(queue_path, worker_id="harness") as queue:
+            counts = queue.counts()
+            takeovers = sum(
+                row["takeovers"] for row in queue.worker_rows()
+            )
+            takeover_events = [
+                row for row in queue.attempt_rows()
+                if row["event"] == "takeover"
+            ]
+        if set(counts) != {"done"}:
+            raise SystemExit(f"queue not fully drained: {counts}")
+        if takeovers < 1 or not takeover_events:
+            raise SystemExit("no takeover happened; the kill proved nothing")
+        if not any(
+            dead_worker in (row["detail"] or "") for row in takeover_events
+        ):
+            raise SystemExit(
+                f"no takeover names the killed worker {dead_worker}: "
+                f"{takeover_events}"
+            )
+
+        fleet = ResultStore(fleet_dir, "fleet")
+        seen = {}
+        for line in fleet.results_path.read_text(
+            encoding="utf-8"
+        ).splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from the SIGKILL, quarantined on load
+            if record.get("status") == "ok":
+                seen[record["spec_hash"]] = seen.get(
+                    record["spec_hash"], 0
+                ) + 1
+        doubles = {h: n for h, n in seen.items() if n > 1}
+        if doubles:
+            raise SystemExit(f"double-executed jobs: {doubles}")
+
+        golden_hashes = {r.spec_hash for r in golden.iter_completed()}
+        if set(seen) != golden_hashes:
+            raise SystemExit(
+                f"fleet completed {len(seen)} points, "
+                f"golden {len(golden_hashes)}"
+            )
+        mismatched = [
+            spec_hash for spec_hash in golden_hashes
+            if canonical(fleet.get(spec_hash).result)
+            != canonical(golden.get(spec_hash).result)
+        ]
+        if mismatched:
+            raise SystemExit(
+                f"results differ from golden run: {mismatched}"
+            )
+
+    print(
+        f"queue chaos OK: {counts['done']} jobs done, "
+        f"{takeovers} takeover(s) from {dead_worker}, "
+        f"0 double-executions, byte-identical to golden"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,9 @@ analytic engine's packets/s for the Base and HyperTRIO configs (plus a
 phase-profiled HyperTRIO row carrying the per-phase host-time
 breakdown), the service front end's end-to-end requests/s over a
 loopback replay, the runner's job throughput, the checkpointing
-overhead of a supervised run, and a vectorized-vs-analytic pair on a
+overhead of a supervised run, the distributed queue's coordination cost
+(raw ``claims_per_s`` plus a 2-worker end-to-end drain through one
+shared queue and result store), and a vectorized-vs-analytic pair on a
 paper-scale 1024-tenant trace whose vectorized row carries
 ``speedup_vs_analytic`` and a ``parity`` flag (byte-identical results).
 
@@ -59,6 +61,10 @@ ANALYTIC_PACKETS = 6000
 SERVICE_PACKETS = 2500
 #: Sequential jobs timed for the runner job-throughput row.
 RUNNER_JOBS = 4
+#: Stub rows claimed back-to-back for the queue's ``claims_per_s``, and
+#: the worker threads draining the queue row's end-to-end sweep.
+QUEUE_CLAIM_JOBS = 512
+QUEUE_WORKERS = 2
 #: The vectorized-vs-analytic pair runs at paper scale — 1024 tenants of
 #: the regular iperf3 stream under a Base-geometry config with LRU TLBs
 #: — where the vectorized engine's block-cycle leap dominates.
@@ -286,6 +292,115 @@ def _bench_checkpoint(packets: int) -> Dict[str, Any]:
     }
 
 
+def _bench_queue(jobs: int, packets: int) -> Dict[str, Any]:
+    """The distributed queue's coordination cost, in two measurements.
+
+    First the raw claim path: ``QUEUE_CLAIM_JOBS`` stub rows claimed
+    back-to-back from one connection (each claim is a full
+    ``BEGIN IMMEDIATE`` transaction with its audit row), reported as
+    ``claims_per_s``.  Then end to end: ``QUEUE_WORKERS`` worker threads
+    — each with its own queue connection, runner, and store instance —
+    cooperatively drain a real ``jobs``-point sweep through one shared
+    queue and ``results.jsonl``, which is the gated throughput number
+    (same packet budget as the runner row, so the delta against it is
+    the queue's coordination overhead).
+    """
+    import threading
+
+    from repro.analysis.scale import RunScale
+    from repro.runner import (
+        ExperimentQueue,
+        ExperimentRunner,
+        ResultStore,
+        RunnerOptions,
+        work_queue,
+    )
+    from repro.runner.spec import JobSpec
+
+    with tempfile.TemporaryDirectory() as tmp:
+        claim_queue = ExperimentQueue(
+            Path(tmp) / "claims.db", worker_id="bench-claims"
+        )
+        claim_queue.enqueue_specs([
+            JobSpec(
+                config={"name": "Stub", "index": index},
+                benchmark="stub",
+                num_tenants=1,
+                interleaving="RR1",
+                max_packets=1,
+                seed=index,
+            )
+            for index in range(QUEUE_CLAIM_JOBS)
+        ])
+        started = time.perf_counter()
+        claimed = 0
+        while claim_queue.claim() is not None:
+            claimed += 1
+        claim_wall = time.perf_counter() - started
+        claim_queue.close()
+
+        scale = RunScale(
+            name="bench-queue",
+            tenant_counts=(PINNED_TENANTS,),
+            interleavings=("RR1",),
+            benchmarks=(PINNED_BENCHMARK,),
+            max_packets=packets,
+        )
+        sweep = [
+            JobSpec.from_point(
+                hypertrio_config(),
+                PINNED_BENCHMARK,
+                PINNED_TENANTS,
+                "RR1",
+                scale,
+                seed=seed,
+            )
+            for seed in range(jobs)
+        ]
+        queue_path = Path(tmp) / "queue.db"
+        with ExperimentQueue(queue_path, worker_id="bench-seed") as seeder:
+            seeder.enqueue_specs(sweep)
+
+        def drain(name: str) -> None:
+            queue = ExperimentQueue(queue_path, worker_id=name, lease_s=60)
+            runner = ExperimentRunner(
+                store=ResultStore(Path(tmp) / "runs", "bench"),
+                options=RunnerOptions(jobs=1),
+            )
+            try:
+                work_queue(queue, runner, poll_s=0.01)
+            finally:
+                queue.close()
+
+        threads = [
+            threading.Thread(target=drain, args=(f"bench-w{index}",))
+            for index in range(QUEUE_WORKERS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        store = ResultStore(Path(tmp) / "runs", "bench")
+        done = sum(
+            result.result["packets"]["arrived"]
+            for result in store.iter_completed()
+        )
+    return {
+        "engine": "queue",
+        "config": "HyperTRIO",
+        "packets": done,
+        "wall_s": wall,
+        "packets_per_s": done / wall if wall > 0 else 0.0,
+        "jobs": jobs,
+        "jobs_per_s": jobs / wall if wall > 0 else 0.0,
+        "workers": QUEUE_WORKERS,
+        "claim_jobs": claimed,
+        "claims_per_s": claimed / claim_wall if claim_wall > 0 else 0.0,
+    }
+
+
 def _vector_config() -> ArchConfig:
     """Base geometry with LRU policies in every TLB level.
 
@@ -422,6 +537,7 @@ def run_bench(
         _bench_service(service_packets),
         _bench_runner(RUNNER_JOBS, analytic_packets),
         _bench_checkpoint(analytic_packets),
+        _bench_queue(RUNNER_JOBS, analytic_packets),
         *_bench_vectorized(vector_packets),
     ]
     document: Dict[str, Any] = {
@@ -436,6 +552,10 @@ def run_bench(
             "runner_packets": analytic_packets,
             "checkpoint_packets": analytic_packets,
             "runner_jobs": RUNNER_JOBS,
+            "queue_packets": analytic_packets,
+            "queue_jobs": RUNNER_JOBS,
+            "queue_workers": QUEUE_WORKERS,
+            "queue_claim_jobs": QUEUE_CLAIM_JOBS,
             "vector_benchmark": VECTOR_BENCHMARK,
             "vector_tenants": VECTOR_TENANTS,
             "vector_packets": vector_packets,
@@ -467,6 +587,12 @@ def run_bench(
         if "jobs_per_s" in row:
             lines.append(
                 f"           {row['jobs']} jobs ({row['jobs_per_s']:.2f} jobs/s)"
+            )
+        if "claims_per_s" in row:
+            lines.append(
+                f"           {row['claim_jobs']} raw claims "
+                f"({row['claims_per_s']:.0f} claims/s), "
+                f"{row['workers']} workers end-to-end"
             )
         if "checkpoint_overhead_pct" in row:
             lines.append(

@@ -28,10 +28,26 @@ Modules:
   watchdog, and the interrupt/checkpoint supervision plumbing
 * :mod:`repro.runner.orchestrate` — plan/execute/replay bridge that runs
   unmodified experiment drivers in parallel
+* :mod:`repro.runner.queue` — lease-based distributed experiment queue
+  (shared SQLite job table multiple hosts pull from cooperatively)
 """
 
-from repro.runner.orchestrate import plan_driver, run_experiment, run_sweep
+from repro.runner.orchestrate import (
+    plan_driver,
+    run_experiment,
+    run_experiment_queue,
+    run_sweep,
+)
 from repro.runner.progress import ProgressReporter
+from repro.runner.queue import (
+    ClaimedJob,
+    ExperimentQueue,
+    LeaseRenewer,
+    QueueCorruptError,
+    QueueError,
+    QueueWorkStats,
+    work_queue,
+)
 from repro.runner.scheduler import (
     ExperimentRunner,
     JobTimeoutError,
@@ -76,7 +92,15 @@ __all__ = [
     "read_heartbeat",
     "plan_driver",
     "run_experiment",
+    "run_experiment_queue",
     "run_sweep",
+    "ExperimentQueue",
+    "ClaimedJob",
+    "LeaseRenewer",
+    "QueueError",
+    "QueueCorruptError",
+    "QueueWorkStats",
+    "work_queue",
     "result_to_dict",
     "result_from_dict",
     "execute_job",

@@ -180,6 +180,11 @@ class ExperimentRunner:
         self.initializer = initializer
         self.stats = RunStats()
         self._retry_seq = itertools.count()
+        #: Optional per-result hook, invoked after each result is recorded
+        #: (executed, failed, or interrupted — not memo hits).  The queue
+        #: worker loop uses it to mark jobs terminal in the shared queue
+        #: as their results land, instead of after the whole batch.
+        self.on_result: Optional[Callable[[JobResult], None]] = None
         self.supervision = supervision
         if supervision is not None:
             if supervision.run_dir is None and store is not None:
@@ -322,6 +327,8 @@ class ExperimentRunner:
         if self.store is not None:
             self.store.record(result)
         results[result.spec_hash] = result
+        if self.on_result is not None:
+            self.on_result(result)
         if result.ok:
             self.stats.executed += 1
             self.reporter.job_done(result)

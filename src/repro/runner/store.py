@@ -12,7 +12,12 @@ Layout (one directory per run under the runs root, default
 Ctrl-C loses at most the in-flight jobs; corrupt lines (a truncated
 final line from a torn write, garbage bytes mid-file) are quarantined on
 load — the valid records survive, the bad lines move to
-``quarantine.jsonl``, and the affected jobs re-execute on resume.  Completed jobs are memoized by
+``quarantine.jsonl``, and the affected jobs re-execute on resume.  Every
+append, the corruption-recovery rewrite, and :meth:`ResultStore.refresh`
+serialize on an ``flock``'d sidecar lock file, so several schedulers
+(queue workers sharing a run directory) interleave whole records
+losslessly instead of tearing each other's lines or losing appends to a
+racing rewrite.  Completed jobs are memoized by
 :attr:`~repro.runner.spec.JobSpec.spec_hash` — re-running a sweep, or
 resuming a killed run, only executes the missing points.  Failed attempts
 are recorded too (for the audit trail) but never memoized, so a resume
@@ -32,9 +37,15 @@ import os
 import platform
 import subprocess
 import sys
+from contextlib import contextmanager
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
+
+try:  # POSIX-only; on other platforms appends fall back to unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from repro.analysis.scale import SCALE_ENV_VAR
 from repro.runner.spec import JobResult
@@ -45,6 +56,7 @@ DEFAULT_RUNS_DIR = ".repro-runs"
 RESULTS_FILE = "results.jsonl"
 MANIFEST_FILE = "manifest.json"
 QUARANTINE_FILE = "quarantine.jsonl"
+STORE_LOCK_FILE = ".store.lock"
 
 
 def _utc_now() -> str:
@@ -104,7 +116,13 @@ class ResultStore:
         #: the bad lines were moved to ``quarantine.jsonl`` and the
         #: results file rewritten with the surviving records.
         self.corrupt_records: List[Dict[str, Any]] = []
-        self._load()
+        #: Byte offset into ``results.jsonl`` up to which records have
+        #: been folded into this instance — :meth:`refresh` consumes
+        #: from here, so records appended by *other* workers sharing the
+        #: run directory become visible (and memoized) incrementally.
+        self._consumed_bytes = 0
+        with self._locked():
+            self._load()
 
     # ------------------------------------------------------------------
     @property
@@ -118,6 +136,26 @@ class ResultStore:
     @property
     def quarantine_path(self) -> Path:
         return self.directory / QUARANTINE_FILE
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive inter-process lock over the results file.
+
+        Taken for every append, the corruption-recovery rewrite, and
+        :meth:`refresh`, so concurrent schedulers sharing this run
+        directory serialize on whole records.  The lock lives on a
+        sidecar file because the rewrite replaces the results file's
+        inode, which would silently invalidate locks held on it.
+        """
+        if fcntl is None:  # pragma: no cover — non-POSIX
+            yield
+            return
+        with (self.directory / STORE_LOCK_FILE).open("a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def _load(self) -> None:
         """Load the results file, recovering from corruption.
@@ -135,7 +173,9 @@ class ResultStore:
         if not path.exists():
             return
         # Bytes + lossy decode: corruption is not guaranteed to be UTF-8.
-        text = path.read_bytes().decode("utf-8", errors="replace")
+        data = path.read_bytes()
+        self._consumed_bytes = len(data)
+        text = data.decode("utf-8", errors="replace")
         valid_lines: List[str] = []
         corrupt: List[Dict[str, Any]] = []
         for number, line in enumerate(text.split("\n"), start=1):
@@ -176,10 +216,10 @@ class ResultStore:
             handle.flush()
             os.fsync(handle.fileno())
         tmp = self.results_path.with_name(RESULTS_FILE + ".tmp")
-        tmp.write_text(
-            "".join(line + "\n" for line in valid_lines), encoding="utf-8"
-        )
+        rewritten = "".join(line + "\n" for line in valid_lines)
+        tmp.write_text(rewritten, encoding="utf-8")
         os.replace(tmp, self.results_path)
+        self._consumed_bytes = len(rewritten.encode("utf-8"))
 
     # ------------------------------------------------------------------
     @property
@@ -191,15 +231,101 @@ class ResultStore:
         return self._completed.get(spec_hash)
 
     def record(self, result: JobResult) -> None:
-        """Append ``result`` durably; successful records become memo hits."""
+        """Append ``result`` durably; successful records become memo hits.
+
+        The append happens under the store lock, after folding in any
+        records other workers appended meanwhile, so concurrent
+        schedulers interleave whole records losslessly.  If a crashed
+        writer left a torn (unterminated) tail, the new record is
+        written on its own line — the torn fragment stays isolated and
+        is quarantined on the next load instead of merging with ours.
+        """
         line = json.dumps(result.to_dict(), separators=(",", ":"))
-        with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        data = (line + "\n").encode("utf-8")
+        with self._locked():
+            dangling = self._consume_new()
+            with self.results_path.open("ab") as handle:
+                handle.write(b"\n" + data if dangling else data)
+                handle.flush()
+                os.fsync(handle.fileno())
+                # We hold the lock and just wrote at the end, so the
+                # current size is exactly what this instance has seen
+                # (a skipped torn fragment is quarantined on next load).
+                self._consumed_bytes = handle.tell()
         self._track(result)
         if result.ok:
             self._completed[result.spec_hash] = result
+
+    def refresh(self) -> int:
+        """Fold in records appended by other workers since the last read.
+
+        Returns how many new records were absorbed.  Successful foreign
+        records become memo hits, so a queue worker that refreshes
+        before executing a claim answers jobs another host just finished
+        without re-running them.  Incremental (byte offset), so calling
+        it per claim is cheap even on large result files.
+        """
+        with self._locked():
+            before = len(self._completed) + self._failed_lines
+            self._consume_new()
+            return len(self._completed) + self._failed_lines - before
+
+    def _consume_new(self) -> bool:
+        """Absorb complete records past the consumed offset (lock held).
+
+        Returns True when unterminated bytes trail the last newline — a
+        torn tail from a crashed writer; the offset stops before it.
+        """
+        path = self.results_path
+        if not path.exists():
+            self._consumed_bytes = 0
+            return False
+        with path.open("rb") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size < self._consumed_bytes:
+                # The file shrank (deleted/recreated or rewritten by
+                # another worker's corruption recovery): start over.
+                self._consumed_bytes = 0
+            handle.seek(self._consumed_bytes)
+            chunk = handle.read()
+        if not chunk:
+            return False
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return True
+        complete, dangling = chunk[: cut + 1], cut + 1 < len(chunk)
+        self._consumed_bytes += len(complete)
+        for stripped in complete.decode("utf-8", errors="replace").split("\n"):
+            stripped = stripped.strip()
+            if not stripped:
+                continue
+            try:
+                record = JobResult.from_dict(json.loads(stripped))
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                # Remembered for visibility; quarantined on next load.
+                self.corrupt_records.append(
+                    {
+                        "line": None,
+                        "reason": f"{type(error).__name__}: {error}",
+                        "raw": stripped[:500],
+                    }
+                )
+                continue
+            self._track(record)
+            if record.ok:
+                self._completed[record.spec_hash] = record
+            else:
+                self._failed_lines += 1
+        return dangling
+
+    @property
+    def quarantine_count(self) -> int:
+        """Lines currently parked in ``quarantine.jsonl`` (0 if none)."""
+        try:
+            with self.quarantine_path.open("rb") as handle:
+                return sum(1 for line in handle if line.strip())
+        except OSError:
+            return 0
 
     def _track(self, result: JobResult) -> None:
         """Fold one record into the status/exit-cause/peak accounting."""
@@ -228,6 +354,7 @@ class ResultStore:
             "exit_causes": dict(sorted(self.exit_causes.items())),
             "max_job_wall_clock_s": round(self.max_duration_s, 3),
             "max_job_rss_peak_kb": self.max_rss_peak_kb,
+            "quarantined_lines": self.quarantine_count,
         }
 
     def iter_completed(self) -> Iterator[JobResult]:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -258,6 +259,14 @@ class HeartbeatWriter:
         with self._lock:
             record = dict(self._fields)
         record["updated_at"] = time.time()
+        # CLOCK_MONOTONIC is system-wide per host, so readers on the
+        # same machine (watchdog, lease renewer) measure staleness
+        # against their own monotonic clock — immune to wall-clock
+        # steps.  ``host`` lets a reader on a *different* machine
+        # (shared-filesystem takeover) know the value is not comparable
+        # and fall back to wall clock.
+        record["updated_mono"] = time.monotonic()
+        record["host"] = socket.gethostname()
         record["rss_kb"] = rss_kb()
         tmp = self.path.with_name(self.path.name + f".{os.getpid()}.tmp")
         try:
@@ -276,6 +285,34 @@ class HeartbeatWriter:
 # ----------------------------------------------------------------------
 # Watchdog (scheduler side)
 # ----------------------------------------------------------------------
+def _beat_is_local(beat: Dict[str, Any]) -> bool:
+    """Was this heartbeat written on this machine (monotonic comparable)?
+
+    Legacy records without a ``host`` field are assumed local — they
+    also lack ``updated_mono``, so only wall-clock math applies anyway.
+    """
+    host = beat.get("host")
+    return host is None or host == socket.gethostname()
+
+
+def heartbeat_silence_s(
+    beat: Dict[str, Any], now_mono: Optional[float] = None
+) -> float:
+    """Seconds since ``beat`` was written, robust to wall-clock steps.
+
+    Prefers the monotonic pair — the writer's ``updated_mono`` against
+    the caller's own monotonic clock, valid because CLOCK_MONOTONIC is
+    system-wide per host — and falls back to wall-clock arithmetic for
+    legacy records or heartbeats written on another machine (shared
+    run directory), where wall clocks are the only common reference.
+    """
+    if "updated_mono" in beat and _beat_is_local(beat):
+        if now_mono is None:
+            now_mono = time.monotonic()
+        return now_mono - beat["updated_mono"]
+    return time.time() - beat.get("updated_at", 0.0)
+
+
 class Watchdog:
     """Background thread flagging silent, overdue, or oversized jobs.
 
@@ -342,9 +379,17 @@ class Watchdog:
                 continue
             beat = read_heartbeat(self.run_dir, spec_hash)
             # A heartbeat predating this attempt belongs to a previous
-            # (killed) attempt of the same job: treat it as absent.
-            if beat is not None and beat.get("updated_at", 0.0) < started_wall:
-                beat = None
+            # (killed) attempt of the same job: treat it as absent.  The
+            # comparison uses the monotonic pair when the record carries
+            # one (and was written on this host), so a wall-clock step
+            # between attempts cannot resurrect — or falsely bury — it.
+            if beat is not None:
+                if "updated_mono" in beat and _beat_is_local(beat):
+                    stale_attempt = beat["updated_mono"] < started_mono
+                else:
+                    stale_attempt = beat.get("updated_at", 0.0) < started_wall
+                if stale_attempt:
+                    beat = None
             if (
                 opts.memory_budget_kb is not None
                 and beat is not None
@@ -357,8 +402,13 @@ class Watchdog:
                 )
                 continue
             if opts.heartbeat_timeout_s is not None:
-                last = beat["updated_at"] if beat is not None else started_wall
-                silent_s = time.time() - last
+                # Monotonic-anchored staleness: a host wall-clock step
+                # (NTP slew, manual set) can neither falsely kill a
+                # healthy worker nor immortalize a wedged one.
+                if beat is not None:
+                    silent_s = heartbeat_silence_s(beat, now_mono)
+                else:
+                    silent_s = now_mono - started_mono
                 if silent_s > opts.heartbeat_timeout_s:
                     self._flag(
                         spec_hash, "stale",

@@ -352,3 +352,80 @@ class TestKillResumeParity:
         )
         assert resumed.returncode == 0
         assert out_path.read_text(encoding="utf-8") == reference
+
+
+# ----------------------------------------------------------------------
+# Concurrent schedulers sharing one results.jsonl (distributed queue)
+# ----------------------------------------------------------------------
+
+class TestConcurrentStores:
+    def test_two_schedulers_interleave_appends_losslessly(self, tmp_path):
+        """Two cooperating queue workers append to the *same*
+        ``results.jsonl`` (here: two store instances racing from two
+        threads).  The sidecar file lock serializes whole-record
+        appends, so the merged file holds every record, one per line —
+        no torn, interleaved, or lost records."""
+        per_writer = 150
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def writer(offset):
+            try:
+                store = ResultStore(tmp_path / "runs", "shared")
+                barrier.wait(timeout=30)
+                for index in range(per_writer):
+                    store.record(_ok_record(offset + index))
+            except BaseException as error:  # pragma: no cover — diagnostics
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(offset,))
+            for offset in (0, 10_000)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures
+        assert not any(thread.is_alive() for thread in threads)
+
+        merged = ResultStore(tmp_path / "runs", "shared")
+        assert merged.completed_count == 2 * per_writer
+        assert not merged.corrupt_records
+        lines = merged.results_path.read_text(
+            encoding="utf-8"
+        ).splitlines()
+        assert len(lines) == 2 * per_writer
+        assert all(json.loads(line)["status"] == "ok" for line in lines)
+        expected = {
+            make_spec(seed=offset + index).spec_hash
+            for offset in (0, 10_000)
+            for index in range(per_writer)
+        }
+        assert {r.spec_hash for r in merged.iter_completed()} == expected
+
+    def test_refresh_folds_in_other_writers_records(self, tmp_path):
+        """A store instance sees records another instance appended after
+        it loaded — the queue worker's pre-execution memo check."""
+        ours = ResultStore(tmp_path / "runs", "shared")
+        theirs = ResultStore(tmp_path / "runs", "shared")
+        theirs.record(_ok_record(1))
+        spec_hash = make_spec(seed=1).spec_hash
+        assert ours.get(spec_hash) is None  # loaded before the append
+        assert ours.refresh() == 1
+        assert ours.get(spec_hash) is not None
+        assert ours.refresh() == 0  # idempotent: nothing new
+
+    def test_append_after_foreign_torn_tail_stays_isolated(self, tmp_path):
+        """A crashed foreign writer's torn (unterminated) tail does not
+        merge with our next append: the new record starts on its own
+        line and only the torn fragment is quarantined on reload."""
+        store = _store_with_records(tmp_path, [1, 2])
+        with store.results_path.open("ab") as handle:
+            handle.write(b'{"status": "ok", "spec_hash": "to')  # no newline
+        store.record(_ok_record(3))
+
+        recovered = ResultStore(tmp_path / "runs", "torn")
+        assert recovered.completed_count == 3
+        assert len(recovered.corrupt_records) == 1
+        assert recovered.get(make_spec(seed=3).spec_hash) is not None
