@@ -5,7 +5,10 @@ count, packet budget, seed) so successive runs are comparable: the
 analytic engine's packets/s for the Base and HyperTRIO configs (plus a
 phase-profiled HyperTRIO row carrying the per-phase host-time
 breakdown), the service front end's end-to-end requests/s over a
-loopback replay, the runner's job throughput, the checkpointing
+loopback replay (plus a chaos twin of that row riding a seeded
+reconnect storm through a :class:`~repro.faults.netchaos.ChaosProxy`,
+whose delta prices the connection-supervision machinery under churn),
+the runner's job throughput, the checkpointing
 overhead of a supervised run, the distributed queue's coordination cost
 (raw ``claims_per_s`` plus a 2-worker end-to-end drain through one
 shared queue and result store), and a vectorized-vs-analytic pair on a
@@ -61,6 +64,8 @@ ANALYTIC_PACKETS = 6000
 SERVICE_PACKETS = 2500
 #: Sequential jobs timed for the runner job-throughput row.
 RUNNER_JOBS = 4
+#: Connections severed by the chaos-replay row's reconnect storm.
+CHAOS_STORM_CONNECTIONS = 3
 #: Stub rows claimed back-to-back for the queue's ``claims_per_s``, and
 #: the worker threads draining the queue row's end-to-end sweep.
 QUEUE_CLAIM_JOBS = 512
@@ -171,6 +176,94 @@ def _bench_service(packets: int) -> Dict[str, Any]:
         "packets": replies,
         "wall_s": wall,
         "packets_per_s": replies / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_chaos_replay(packets: int) -> Dict[str, Any]:
+    """The service replay riding a reconnect storm: resilience overhead.
+
+    Same pinned trace and budget as the plain service row, but the wire
+    passes through a seeded :class:`ChaosProxy` that severs the
+    connection ``CHAOS_STORM_CONNECTIONS`` times mid-run while a
+    sessioned client (circuit breaker, request deadlines, resume-replay)
+    rides the churn.  The row carries the reconnect/resend counts and a
+    ``parity`` flag asserting the flushed ``SimulationResult`` stayed
+    byte-identical to the offline run, so the delta against the plain
+    service row prices the supervision machinery under faults.
+    """
+    import random
+
+    from repro.faults.netchaos import (
+        ChaosProxy,
+        NetworkFaultPlan,
+        ReconnectStormSpec,
+    )
+    from repro.runner.serialize import result_to_dict
+    from repro.service.client import CircuitBreaker, ServiceClient
+    from repro.service.engine import ServiceEngine
+    from repro.service.server import ServiceServer
+
+    golden = HyperSimulator(hypertrio_config(), _pinned_trace(packets)).run(
+        warmup_packets=0
+    )
+    # result_to_dict keys per-tenant maps by int; the wire copy has been
+    # through JSON (string keys).  Round-trip the golden so sort_keys
+    # orders both sides identically.
+    golden_json = json.dumps(
+        json.loads(json.dumps(result_to_dict(golden))), sort_keys=True
+    )
+    plan = NetworkFaultPlan(
+        seed=PINNED_SEED,
+        reconnect_storms=(
+            ReconnectStormSpec(
+                connections=CHAOS_STORM_CONNECTIONS,
+                after_frames=8,
+                jitter_frames=16,
+            ),
+        ),
+    )
+    trace = _pinned_trace(packets)
+
+    async def _run():
+        engine = ServiceEngine(hypertrio_config(), trace)
+        server = ServiceServer(engine)
+        await server.start()
+        proxy = ChaosProxy("127.0.0.1", server.port, plan)
+        await proxy.start()
+        client = ServiceClient(
+            "127.0.0.1",
+            proxy.port,
+            session=True,
+            request_timeout=2.0,
+            breaker=CircuitBreaker(failure_threshold=8),
+            rng=random.Random(PINNED_SEED),
+        )
+        try:
+            await client.connect()
+            started = time.perf_counter()
+            outcomes = await client.replay(trace.packets, window=64)
+            wall = time.perf_counter() - started
+            flush = await client.flush()
+            resends = server.conn_counters["resends_served"]
+            return (
+                wall, len(outcomes), flush["result"],
+                client.reconnects, resends,
+            )
+        finally:
+            await client.close()
+            await proxy.aclose()
+            await server.shutdown()
+
+    wall, replies, wire_result, reconnects, resends = asyncio.run(_run())
+    return {
+        "engine": "service",
+        "config": "HyperTRIO/chaos-storm",
+        "packets": replies,
+        "wall_s": wall,
+        "packets_per_s": replies / wall if wall > 0 else 0.0,
+        "reconnects": reconnects,
+        "resends_served": resends,
+        "parity": json.dumps(wire_result, sort_keys=True) == golden_json,
     }
 
 
@@ -535,6 +628,7 @@ def run_bench(
         _bench_analytic(hypertrio_config(), analytic_packets, engine),
         _bench_profiled(analytic_packets),
         _bench_service(service_packets),
+        _bench_chaos_replay(service_packets),
         _bench_runner(RUNNER_JOBS, analytic_packets),
         _bench_checkpoint(analytic_packets),
         _bench_queue(RUNNER_JOBS, analytic_packets),
@@ -549,6 +643,8 @@ def run_bench(
             "engine": engine,
             "analytic_packets": analytic_packets,
             "service_packets": service_packets,
+            "chaos_packets": service_packets,
+            "chaos_storm_connections": CHAOS_STORM_CONNECTIONS,
             "runner_packets": analytic_packets,
             "checkpoint_packets": analytic_packets,
             "runner_jobs": RUNNER_JOBS,
@@ -593,6 +689,12 @@ def run_bench(
                 f"           {row['claim_jobs']} raw claims "
                 f"({row['claims_per_s']:.0f} claims/s), "
                 f"{row['workers']} workers end-to-end"
+            )
+        if "reconnects" in row:
+            lines.append(
+                f"           storm: {row['reconnects']} reconnects, "
+                f"{row['resends_served']} resends served, "
+                f"parity={'ok' if row['parity'] else 'FAILED'}"
             )
         if "checkpoint_overhead_pct" in row:
             lines.append(

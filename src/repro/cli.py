@@ -581,7 +581,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.service.admission import AdmissionConfig
-    from repro.service.server import build_server
+    from repro.service.server import ConnectionPolicy, build_server
     from repro.sim.checkpoint import CheckpointError
 
     try:
@@ -596,6 +596,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bad admission configuration: {error}", file=sys.stderr)
         return 2
+    policy = ConnectionPolicy(
+        max_frame_bytes=args.max_frame_bytes,
+        idle_timeout_s=args.idle_timeout if args.idle_timeout > 0 else None,
+        frame_deadline_s=(
+            args.frame_deadline if args.frame_deadline > 0 else None
+        ),
+        max_inflight=args.max_inflight,
+        max_write_buffer=args.max_write_buffer,
+    )
     if args.config_file:
         from repro.core.config_io import load_config
 
@@ -716,6 +725,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_proxy(args: argparse.Namespace) -> int:
+    """Run a standalone ChaosProxy in front of a serving instance."""
+    import asyncio
+    import signal
+
+    from repro.faults import FaultPlanFormatError
+    from repro.faults.netchaos import NetworkFaultPlan, load_netplan
+
+    host, _, port_text = args.upstream.rpartition(":")
+    try:
+        upstream_port = int(port_text)
+    except ValueError:
+        print(f"bad --upstream {args.upstream!r}: expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+    if not host:
+        host = "127.0.0.1"
+
+    if args.plan:
+        try:
+            plan = load_netplan(args.plan)
+        except OSError as error:
+            print(f"cannot read plan {args.plan}: {error}", file=sys.stderr)
+            return 2
+        except FaultPlanFormatError as error:
+            print(f"bad plan {args.plan}: {error}", file=sys.stderr)
+            return 2
+    else:
+        plan = NetworkFaultPlan(seed=0)
+
+    async def _proxy() -> None:
+        from repro.faults.netchaos import ChaosProxy
+
+        proxy = ChaosProxy(
+            host, upstream_port, plan, host=args.host, port=args.port
+        )
+        await proxy.start()
+        print(
+            f"proxying on {args.host}:{proxy.port} -> "
+            f"{host}:{upstream_port}"
+            + ("" if args.plan else " (transparent: no fault plan)"),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await proxy.aclose()
+        faults = dict(proxy.faults_injected)
+        print(f"faults injected: {faults or 'none'}", flush=True)
+
+    try:
+        asyncio.run(_proxy())
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(
+            f"cannot proxy on {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _render_stats_table(reply) -> str:
     """Render a ``stats`` reply as the ``top`` terminal view."""
     lines = []
@@ -749,6 +828,18 @@ def _render_stats_table(reply) -> str:
             f"rate-limited {totals['rate_limited']}, "
             f"queue-full {totals['queue_full']}, "
             f"shed {totals['backpressure_shed']}"
+        )
+    conn = reply.get("conn") or {}
+    if conn:
+        lines.append(
+            f"conn: open {conn.get('open', 0)}, "
+            f"sessions {conn.get('sessions', 0)}, "
+            f"opened {conn.get('opened', 0)}, "
+            f"reconnects {conn.get('reconnects', 0)}, "
+            f"evicted {conn.get('evicted_slow', 0)}, "
+            f"timeouts idle/frame "
+            f"{conn.get('idle_timeout', 0)}/{conn.get('frame_timeout', 0)}, "
+            f"resends served {conn.get('resends_served', 0)}"
         )
     per_sid = reply.get("per_sid") or {}
     if per_sid:
@@ -1495,7 +1586,53 @@ def build_parser() -> argparse.ArgumentParser:
              "Perfetto-loadable Chrome trace on shutdown (enables phase "
              "profiling too; clients opt in per request via 'trace')",
     )
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=1 << 20, metavar="BYTES",
+        help="reject request frames longer than this with a typed "
+             "frame_too_large error (default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="close connections with no traffic and no inflight work "
+             "after this long (default: 600; 0 disables)",
+    )
+    serve.add_argument(
+        "--frame-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="a started frame must finish (newline arrive) within this "
+             "deadline or the peer is cut (default: 30; 0 disables)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4096, metavar="N",
+        help="per-connection inflight request cap; excess requests get a "
+             "retryable typed error (default: 4096)",
+    )
+    serve.add_argument(
+        "--max-write-buffer", type=int, default=8 << 20, metavar="BYTES",
+        help="evict peers that let this many reply bytes pile up unread "
+             "(default: 8 MiB)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    chaos_proxy = subparsers.add_parser(
+        "chaos-proxy",
+        help="run a seeded wire-fault proxy in front of a serving "
+             "instance (see docs/RESILIENCE.md)",
+    )
+    chaos_proxy.add_argument(
+        "--upstream", required=True, metavar="HOST:PORT",
+        help="the serving instance to proxy for",
+    )
+    chaos_proxy.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="NetworkFaultPlan JSON (see repro.faults.netchaos); omitted "
+             "= byte-transparent relay",
+    )
+    chaos_proxy.add_argument("--host", default="127.0.0.1")
+    chaos_proxy.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: 0 = ephemeral, printed on start)",
+    )
+    chaos_proxy.set_defaults(func=_cmd_chaos_proxy)
 
     top = subparsers.add_parser(
         "top",

@@ -13,13 +13,34 @@ happy path.  This package provides:
   simulator carries no injector at all (the zero-cost-when-disabled
   pattern shared with :mod:`repro.obs`);
 * :mod:`repro.faults.chaos` — test-only chaos hooks for the parallel
-  runner (worker kills, result-store file corruption).
+  runner (worker kills, result-store file corruption);
+* :mod:`repro.faults.netchaos` — :class:`NetworkFaultPlan` plus the
+  in-process :class:`ChaosProxy` that injects wire-level faults
+  (drops, mid-frame cuts, corruption, stalls, split/coalesced writes,
+  reconnect storms) between the service client and server.
 
 See ``docs/RESILIENCE.md`` for the fault model and degraded-mode
 semantics.
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.netchaos import (
+    ChaosProxy,
+    CoalesceSpec,
+    CorruptSpec,
+    CutSpec,
+    DropSpec,
+    NetworkFaultPlan,
+    ReconnectStormSpec,
+    SplitSpec,
+    StallSpec,
+    load_netplan,
+    netplan_from_dict,
+    netplan_from_json,
+    netplan_to_dict,
+    netplan_to_json,
+    save_netplan,
+)
 from repro.faults.plan import (
     DeviceResetSpec,
     FaultPlan,
@@ -51,4 +72,19 @@ __all__ = [
     "plan_from_json",
     "save_plan",
     "load_plan",
+    "NetworkFaultPlan",
+    "ChaosProxy",
+    "DropSpec",
+    "CutSpec",
+    "CorruptSpec",
+    "StallSpec",
+    "SplitSpec",
+    "CoalesceSpec",
+    "ReconnectStormSpec",
+    "netplan_to_dict",
+    "netplan_from_dict",
+    "netplan_to_json",
+    "netplan_from_json",
+    "save_netplan",
+    "load_netplan",
 ]

@@ -22,7 +22,9 @@ Rule file format (schema ``repro-slo/1``)::
         {"name": "drops", "kind": "drop_rate",
          "cause": "ptb_overflow", "max_rate": 0.05},
         {"name": "ptb-dwell", "kind": "ptb_dwell",
-         "watermark": 24, "max_dwell_s": 2.0}
+         "watermark": 24, "max_dwell_s": 2.0},
+        {"name": "churn", "kind": "conn_churn",
+         "max_per_s": 5.0}
       ]
     }
 
@@ -30,6 +32,12 @@ Evaluation is hysteresis-free by design (the rules are already
 thresholds on aggregates, which move slowly); the *dwell* rule carries
 its own temporal filter: it breaches only after occupancy has stayed at
 or above ``watermark`` continuously for ``max_dwell_s`` wall seconds.
+
+The *churn* rule watches wire health rather than model health: the
+sample carries the server's cumulative connections-opened counter, and
+the rule breaches when the opening **rate** between two evaluations
+exceeds ``max_per_s`` — a reconnect storm (or an eviction loop) shows
+up here even when every translation still succeeds.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.obs import events as ev
 
@@ -48,7 +56,8 @@ SLO_SCHEMA = "repro-slo/1"
 KIND_LATENCY = "latency_quantile"
 KIND_DROP_RATE = "drop_rate"
 KIND_PTB_DWELL = "ptb_dwell"
-ALL_KINDS = (KIND_LATENCY, KIND_DROP_RATE, KIND_PTB_DWELL)
+KIND_CONN_CHURN = "conn_churn"
+ALL_KINDS = (KIND_LATENCY, KIND_DROP_RATE, KIND_PTB_DWELL, KIND_CONN_CHURN)
 
 
 class SloFormatError(ValueError):
@@ -62,7 +71,8 @@ class SloRule:
     ``threshold`` is the rule's limit in its kind's unit: nanoseconds
     for ``latency_quantile`` (``max_ns``), a 0..1 fraction for
     ``drop_rate`` (``max_rate``), wall seconds for ``ptb_dwell``
-    (``max_dwell_s``).
+    (``max_dwell_s``), connections opened per wall second for
+    ``conn_churn`` (``max_per_s``).
     """
 
     name: str
@@ -91,6 +101,9 @@ class SloSample:
     drop_rate: Callable[[str], float]
     ptb_occupancy: int = 0
     model_ns: float = 0.0
+    #: Cumulative connections-opened count (``conn_churn`` rules derive
+    #: the per-second rate between evaluations from it).
+    conn_churn: float = 0.0
 
 
 def _require(condition: bool, message: str) -> None:
@@ -160,7 +173,7 @@ def rules_from_dict(document: Dict[str, Any]) -> List[SloRule]:
                     threshold=float(max_rate), cause=cause,
                 )
             )
-        else:  # KIND_PTB_DWELL
+        elif kind == KIND_PTB_DWELL:
             watermark = raw.get("watermark")
             _require(
                 isinstance(watermark, int) and watermark >= 1,
@@ -176,6 +189,15 @@ def rules_from_dict(document: Dict[str, Any]) -> List[SloRule]:
                     name=name, kind=kind,
                     threshold=float(max_dwell), watermark=watermark,
                 )
+            )
+        else:  # KIND_CONN_CHURN
+            max_per_s = raw.get("max_per_s")
+            _require(
+                isinstance(max_per_s, (int, float)) and max_per_s >= 0,
+                f"rule {name!r}: 'max_per_s' must be non-negative",
+            )
+            rules.append(
+                SloRule(name=name, kind=kind, threshold=float(max_per_s))
             )
     return rules
 
@@ -212,6 +234,9 @@ class SloWatcher:
         self.breached: Dict[str, bool] = {rule.name: False for rule in self.rules}
         #: Wall time at which occupancy first held the watermark, per rule.
         self._dwell_since: Dict[str, Optional[float]] = {}
+        #: Previous ``(wall_time, cumulative_count)`` sample per churn
+        #: rule — rates are computed between consecutive evaluations.
+        self._churn_prev: Dict[str, Tuple[float, float]] = {}
         self.transitions: int = 0
 
     # ------------------------------------------------------------------
@@ -224,6 +249,17 @@ class SloWatcher:
             return sample.latency_percentile(rule.quantile)
         if rule.kind == KIND_DROP_RATE:
             return sample.drop_rate(rule.cause)
+        if rule.kind == KIND_CONN_CHURN:
+            # Connections opened per second since the previous
+            # evaluation of this rule (0 on the first sample).
+            prev = self._churn_prev.get(rule.name)
+            self._churn_prev[rule.name] = (now, sample.conn_churn)
+            if prev is None:
+                return 0.0
+            elapsed = now - prev[0]
+            if elapsed <= 0:
+                return 0.0
+            return (sample.conn_churn - prev[1]) / elapsed
         # KIND_PTB_DWELL: measured value is the current dwell in seconds.
         if sample.ptb_occupancy >= rule.watermark:
             since = self._dwell_since.get(rule.name)

@@ -14,12 +14,16 @@ Layers (see docs/SERVICE.md):
 """
 
 from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.client import CircuitBreaker
 from repro.service.engine import ServiceEngine, load_service_checkpoint
 from repro.service.protocol import PROTOCOL_SCHEMA, PacketOutcome
+from repro.service.server import ConnectionPolicy
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
+    "CircuitBreaker",
+    "ConnectionPolicy",
     "ServiceEngine",
     "load_service_checkpoint",
     "PROTOCOL_SCHEMA",

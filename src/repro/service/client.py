@@ -19,6 +19,17 @@ after the last acked packet).  The client therefore resends from the
 first unacknowledged sequence number and nothing is ever translated
 twice or skipped.
 
+**Hardening** (docs/RESILIENCE.md): ``connect`` retries the TCP connect
+*and* the ``hello`` exchange with full-jitter exponential backoff under
+a hard cap, reports its attempt count in the handshake metadata, and can
+sit behind a :class:`CircuitBreaker` (closed → open → half-open probe).
+``replay`` takes a per-reply ``request_timeout`` so a stalled or
+half-dead connection is abandoned instead of hanging, and with
+``session=True`` the client carries a server-side exactly-once session:
+resends after chaos (corrupted frames, mid-frame cuts, reconnect storms)
+are deduplicated and re-ordered by the server, so the replayed result
+stays byte-identical to the offline run no matter what the wire did.
+
 The sync wrapper :func:`replay_trace` runs a whole replay under
 ``asyncio.run`` for CLI and test use.
 """
@@ -26,8 +37,10 @@ The sync wrapper :func:`replay_trace` runs a whole replay under
 from __future__ import annotations
 
 import asyncio
+import random
 import time
-from typing import Any, Dict, List, Optional, Sequence
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.service import protocol
 from repro.trace.records import PacketRecord
@@ -35,6 +48,72 @@ from repro.trace.records import PacketRecord
 
 class ServiceClientError(RuntimeError):
     """A protocol-level failure the client cannot retry."""
+
+
+class CircuitBreaker:
+    """Connect-attempt circuit breaker (closed → open → half-open).
+
+    ``failure_threshold`` *consecutive* transport failures trip the
+    breaker open: the next attempt waits out a full-jitter cooldown
+    (doubling per consecutive trip, capped at ``max_cooldown_s``), then
+    runs as the single half-open probe.  A successful probe closes the
+    breaker and resets the cooldown ladder; a failed probe re-opens it
+    one rung higher.  ``clock``/``rng``/``sleep`` are injectable so
+    tests drive the state machine deterministically.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 0.1,
+        max_cooldown_s: float = 5.0,
+        clock=time.monotonic,
+        rng: Optional[random.Random] = None,
+        sleep=asyncio.sleep,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.max_cooldown_s = max_cooldown_s
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self.state = "closed"
+        self.consecutive_failures = 0
+        #: Consecutive open transitions (resets on success) — the rung
+        #: of the cooldown ladder.
+        self.trips = 0
+        self._open_until = 0.0
+
+    async def before_attempt(self) -> None:
+        """Gate one attempt: waits out the cooldown when open."""
+        if self.state != "open":
+            return
+        remaining = self._open_until - self._clock()
+        if remaining > 0:
+            await self._sleep(remaining)
+        self.state = "half_open"
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self.trips += 1
+            self.state = "open"
+            cooldown = min(
+                self.max_cooldown_s, self.cooldown_s * (2 ** (self.trips - 1))
+            )
+            # Full jitter, floored at a tenth of the nominal cooldown so
+            # a zero draw cannot turn "open" into a busy-loop.
+            self._open_until = self._clock() + max(
+                cooldown * 0.1, self._rng.uniform(0.0, cooldown)
+            )
 
 
 class ServiceClient:
@@ -47,6 +126,12 @@ class ServiceClient:
         sid: Optional[int] = None,
         connect_timeout: float = 10.0,
         trace: bool = False,
+        request_timeout: Optional[float] = None,
+        session: Union[bool, str] = False,
+        breaker: Optional[CircuitBreaker] = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 0.5,
+        rng: Optional[random.Random] = None,
     ):
         self.host = host
         self.port = port
@@ -58,11 +143,30 @@ class ServiceClient:
         #: request, ids derived from ``seq`` so two identical replays
         #: produce identical trees.  Old servers ignore the field.
         self.trace = trace
+        #: Per-reply deadline in :meth:`replay`; ``None`` waits forever
+        #: (the legacy behaviour — correct only on a fault-free wire).
+        self.request_timeout = request_timeout
+        #: Exactly-once session id sent in ``hello``.  ``True`` draws a
+        #: fresh id; a string pins one (to resume across client objects).
+        #: ``False``/``None`` keeps the legacy session-less wire format.
+        self.session_id: Optional[str] = (
+            uuid.uuid4().hex if session is True else (session or None)
+        )
+        #: Optional connect-attempt circuit breaker (shared across
+        #: clients if the caller wants a per-endpoint breaker).
+        self.breaker = breaker
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         #: Wall-clock RTTs of awaited single requests (load-gen latency).
         self.rtts: List[float] = []
         self.reconnects = 0
+        #: Total connect attempts (TCP dials) over the client's lifetime.
+        self.connect_attempts = 0
+        #: Replies that hit ``request_timeout`` and forced a reconnect.
+        self.request_timeouts = 0
 
     # ------------------------------------------------------------------
     # Connection management
@@ -70,33 +174,61 @@ class ServiceClient:
     async def connect(self) -> Dict[str, Any]:
         """Open the connection and perform the ``hello`` handshake.
 
-        Retries the TCP connect with bounded backoff up to
-        ``connect_timeout`` seconds — this is what bridges a warm
-        restart, when the new server has not bound the port yet.
+        Retries the TCP connect *and the handshake itself* with
+        full-jitter exponential backoff (base ``backoff_base``, hard cap
+        ``backoff_cap``) up to ``connect_timeout`` seconds — this
+        bridges both a warm restart (port not bound yet) and a chaotic
+        wire that cuts the connection mid-``hello``.  The attempt count
+        travels in the hello metadata so the server can account for
+        handshake churn.  A *typed* handshake refusal is a real answer
+        and raises immediately; only transport failures retry.
         """
         deadline = time.monotonic() + self.connect_timeout
-        delay = 0.05
+        delay = self.backoff_base
+        attempts = 0
         while True:
+            if self.breaker is not None:
+                await self.breaker.before_attempt()
+            attempts += 1
+            self.connect_attempts += 1
             try:
                 self._reader, self._writer = await asyncio.open_connection(
                     self.host, self.port
                 )
-                break
-            except OSError:
+                hello: Dict[str, Any] = {
+                    "type": protocol.HELLO,
+                    "schema": protocol.PROTOCOL_SCHEMA,
+                    "attempts": attempts,
+                }
+                if self.sid is not None:
+                    hello["sid"] = self.sid
+                if self.session_id is not None:
+                    hello["session"] = self.session_id
+                budget = max(0.05, deadline - time.monotonic())
+                reply = await asyncio.wait_for(self._request(hello), budget)
+                if reply.get("type") != protocol.HELLO_OK:
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    raise ServiceClientError(f"handshake failed: {reply}")
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return reply
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                protocol.ProtocolError,
+            ):
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                await self.close()
                 if time.monotonic() >= deadline:
                     raise
-                await asyncio.sleep(delay)
-                delay = min(delay * 2, 0.5)
-        hello: Dict[str, Any] = {
-            "type": protocol.HELLO,
-            "schema": protocol.PROTOCOL_SCHEMA,
-        }
-        if self.sid is not None:
-            hello["sid"] = self.sid
-        reply = await self._request(hello)
-        if reply.get("type") != protocol.HELLO_OK:
-            raise ServiceClientError(f"handshake failed: {reply}")
-        return reply
+                # Full jitter: sleep uniform(0, delay), doubling the
+                # window each failed attempt up to the hard cap.
+                await asyncio.sleep(self._rng.uniform(0.0, delay))
+                delay = min(delay * 2, self.backoff_cap)
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -142,7 +274,11 @@ class ServiceClient:
     # Single requests
     # ------------------------------------------------------------------
     def _translate_message(
-        self, packet: PacketRecord, seq: int, sid: Optional[int]
+        self,
+        packet: PacketRecord,
+        seq: int,
+        sid: Optional[int],
+        ack: Optional[int] = None,
     ) -> Dict[str, Any]:
         message: Dict[str, Any] = {
             "type": protocol.TRANSLATE,
@@ -156,6 +292,10 @@ class ServiceClient:
             message["sid"] = packet.sid
         if self.trace:
             message["trace"] = {"trace_id": f"t{seq:x}", "span_id": f"c{seq:x}"}
+        if self.session_id is not None and ack is not None:
+            # Ack watermark: every seq below it has an outcome, so the
+            # server can evict those entries from the session cache.
+            message["ack"] = ack
         return message
 
     async def translate(self, packet: PacketRecord, seq: int = 0) -> Dict[str, Any]:
@@ -175,11 +315,30 @@ class ServiceClient:
         return await self._request({"type": protocol.PING})
 
     async def flush(self) -> Dict[str, Any]:
-        """End the modeled stream; returns the server's final result."""
-        reply = await self._request({"type": protocol.FLUSH})
-        if reply.get("type") != protocol.FLUSH_OK:
-            raise ServiceClientError(f"flush failed: {reply}")
-        return reply
+        """End the modeled stream; returns the server's final result.
+
+        With a session, flush is retried over a reconnect on transport
+        failures (it is idempotent on the server: the engine state it
+        reads is unchanged by asking twice); session-less clients keep
+        the legacy raise-on-first-failure behaviour.  Stale duplicate
+        ``result`` frames still in flight from chaos resends are skipped
+        while waiting for the ``flush_ok``.
+        """
+        attempts = 3 if self.session_id is not None else 1
+        for attempt in range(attempts):
+            try:
+                reply = await self._request({"type": protocol.FLUSH})
+                while reply.get("type") == protocol.RESULT:
+                    reply = await self._recv()
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                if attempt == attempts - 1:
+                    raise
+                await self._reconnect()
+                continue
+            if reply.get("type") != protocol.FLUSH_OK:
+                raise ServiceClientError(f"flush failed: {reply}")
+            return reply
+        raise ServiceClientError("flush failed")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Load-generator mode
@@ -199,6 +358,13 @@ class ServiceClient:
         responses, or non-retryable typed errors such as
         ``rate_limited``).  ``on_outcome(seq, reply)`` is called as each
         reply lands.
+
+        With ``request_timeout`` set, a reply that fails to land within
+        the deadline is treated as a dead connection (drain, reconnect,
+        resend).  With a session, an undecodable frame is likewise a
+        reconnect (the server's session cache makes the resend exact);
+        without one it stays a loud failure, because a silent resend
+        could translate the packet twice.
         """
         total = len(packets)
         outcomes: List[Optional[Dict[str, Any]]] = [None] * total
@@ -241,10 +407,13 @@ class ServiceClient:
             """
             if self._reader is None:
                 return
+            drain_timeout = (
+                self.request_timeout if self.request_timeout is not None else 5.0
+            )
             try:
                 while True:
                     line = await asyncio.wait_for(
-                        self._reader.readline(), timeout=5.0
+                        self._reader.readline(), timeout=drain_timeout
                     )
                     if not line:
                         return
@@ -260,6 +429,28 @@ class ServiceClient:
             ):
                 return
 
+        async def recv_reply() -> Dict[str, Any]:
+            """One reply under the request deadline and frame hygiene."""
+            try:
+                if self.request_timeout is None:
+                    return await self._recv()
+                return await asyncio.wait_for(
+                    self._recv(), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                self.request_timeouts += 1
+                raise ConnectionResetError(
+                    "request deadline exceeded"
+                ) from None
+            except protocol.ProtocolError:
+                if self.session_id is None:
+                    # Without a session a corrupt frame is unrecoverable:
+                    # the reply it carried is lost, and a blind resend
+                    # would translate that packet twice.  Fail loudly
+                    # rather than silently diverge from the offline run.
+                    raise
+                raise ConnectionResetError("corrupt frame on wire") from None
+
         while acked < total:
             if self._writer is None:
                 await self.connect()
@@ -274,11 +465,11 @@ class ServiceClient:
                             sent_at[sent] = time.monotonic()
                             await self._send(
                                 self._translate_message(
-                                    packets[sent], sent, self.sid
+                                    packets[sent], sent, self.sid, ack=acked
                                 )
                             )
                         sent += 1
-                    reply = await self._recv()
+                    reply = await recv_reply()
                     if reply.get("type") == protocol.RESTARTING:
                         raise ConnectionResetError("server restarting")
                     if apply(reply):
@@ -303,17 +494,30 @@ def replay_trace(
     flush: bool = False,
     connect_timeout: float = 10.0,
     trace: bool = False,
+    session: Union[bool, str] = False,
+    request_timeout: Optional[float] = None,
+    breaker: Optional[CircuitBreaker] = None,
 ):
     """Synchronous one-shot replay (CLI / tests / CI smoke).
 
     Returns ``(outcomes, flush_reply_or_None, client)`` — the client is
     returned for its RTT samples and reconnect count.  ``trace=True``
     propagates per-request span identity (see :class:`ServiceClient`).
+    ``session``/``request_timeout``/``breaker`` opt into the hardened
+    exactly-once mode (chaos replays); the defaults keep the legacy wire
+    format byte-for-byte.
     """
 
     async def _run():
         client = ServiceClient(
-            host, port, sid=sid, connect_timeout=connect_timeout, trace=trace
+            host,
+            port,
+            sid=sid,
+            connect_timeout=connect_timeout,
+            trace=trace,
+            session=session,
+            request_timeout=request_timeout,
+            breaker=breaker,
         )
         await client.connect()
         try:

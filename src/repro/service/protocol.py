@@ -24,6 +24,16 @@ advertise ``"features": ["trace", ...]`` in ``hello_ok``, but an old
 server simply ignores the unknown field and an old client simply never
 sends it — both directions interoperate with no version bump.
 
+``hello`` optionally carries a ``session`` identity plus the client's
+connect ``attempts`` count: a sessioned server keeps per-session
+exactly-once, in-order dispatch state (an outcome cache for answered
+seqs, a bounded hold buffer for out-of-order arrivals), so a client that
+reconnects after wire chaos can resend unanswered seqs without ever
+causing a double or out-of-trace-order translation.  ``translate``
+carries the optional ``ack`` watermark (first unacknowledged seq) that
+evicts the server's outcome cache.  Both ride the soft feature
+negotiation above: old peers ignore the fields.
+
 ``hello`` binds the connection to one tenant (its SID); every subsequent
 ``translate`` is accounted to that tenant.  A ``hello`` without a SID
 creates an *unbound* (replay) connection whose ``translate`` requests must
@@ -43,9 +53,11 @@ incompatible future revisions bump the suffix.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.obs.spans import SpanContext
 
@@ -54,8 +66,19 @@ PROTOCOL_SCHEMA = "repro-service/1"
 
 #: Optional capabilities this revision understands, advertised in
 #: ``hello_ok``.  Additions here never bump the schema: every feature
-#: rides an optional field old peers ignore.
-PROTOCOL_FEATURES = ("trace", "prom_stats")
+#: rides an optional field old peers ignore.  ``session`` = per-session
+#: exactly-once resend semantics (``hello.session`` / ``translate.ack``);
+#: ``conn_supervision`` = bounded frames and typed supervision errors.
+PROTOCOL_FEATURES = ("trace", "prom_stats", "session", "conn_supervision")
+
+#: Default per-frame byte bound: no legitimate protocol line comes close
+#: (a 64-entry window of translates is a few KiB), so anything larger is
+#: a garbage or hostile peer and is refused with ``frame_too_large``
+#: instead of growing the read buffer without limit.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Chunk size of the supervised frame reader's socket reads.
+_READ_CHUNK = 1 << 16
 
 # Request types ---------------------------------------------------------
 HELLO = "hello"
@@ -94,13 +117,141 @@ E_RESTARTING = "restarting"
 #: The translation itself failed (e.g. a gIOVA outside the tenant's
 #: address space); the request is not retryable.
 E_TRANSLATION = "translation_error"
+#: A single frame exceeded the server's ``max_frame_bytes``; the
+#: connection is closed after this notice.
+E_FRAME_TOO_LARGE = "frame_too_large"
+#: The connection sat idle (no frames, nothing in flight) past the
+#: server's idle timeout and was reaped.
+E_IDLE_TIMEOUT = "idle_timeout"
+#: A frame started but did not complete within the per-frame deadline
+#: (a half-open or slowloris peer); the connection is closed.
+E_FRAME_TIMEOUT = "frame_timeout"
+#: The peer stopped reading and its write buffer crossed the server's
+#: cap; it was evicted so the dispatcher never blocks on one bad socket.
+E_SLOW_PEER = "slow_peer"
+#: The connection exceeded its in-flight request cap.
+E_TOO_MANY_INFLIGHT = "too_many_inflight"
 
 #: Codes a client may transparently retry after reconnect/backoff.
-RETRYABLE_CODES = frozenset({E_RESTARTING})
+RETRYABLE_CODES = frozenset({E_RESTARTING, E_SLOW_PEER, E_TOO_MANY_INFLIGHT})
 
 
 class ProtocolError(ValueError):
     """A line that could not be parsed into a valid protocol message."""
+
+
+class FrameStreamError(Exception):
+    """Base of the supervised frame reader's typed failures.
+
+    Each carries the typed protocol error ``code`` the server answers
+    with before closing the connection.
+    """
+
+    code = E_BAD_REQUEST
+
+
+class FrameTooLargeError(FrameStreamError):
+    """A frame outgrew ``max_frame_bytes`` without a newline."""
+
+    code = E_FRAME_TOO_LARGE
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(
+            f"frame exceeded {limit} bytes ({size} buffered without a newline)"
+        )
+        self.size = size
+        self.limit = limit
+
+
+class IdleTimeoutError(FrameStreamError):
+    """No frame started within the idle timeout."""
+
+    code = E_IDLE_TIMEOUT
+
+    def __init__(self, idle_s: float):
+        super().__init__(f"connection idle for {idle_s:.1f}s")
+        self.idle_s = idle_s
+
+
+class FrameDeadlineError(FrameStreamError):
+    """A started frame did not complete within the frame deadline."""
+
+    code = E_FRAME_TIMEOUT
+
+    def __init__(self, deadline_s: float):
+        super().__init__(
+            f"frame incomplete after {deadline_s:.1f}s (half-open peer?)"
+        )
+        self.deadline_s = deadline_s
+
+
+class FrameReader:
+    """Bounded, deadline-supervised line framing over a stream reader.
+
+    Replaces the server's unbounded ``readline``: frames are capped at
+    ``max_frame_bytes`` (:class:`FrameTooLargeError`), a frame that
+    *starts* must complete within ``frame_deadline_s``
+    (:class:`FrameDeadlineError` — the slowloris/half-open guard), and a
+    connection with no frame in progress raises
+    :class:`IdleTimeoutError` after ``idle_timeout_s`` so the caller can
+    reap it (or keep waiting while replies are still in flight).  The
+    internal buffer survives across calls, so split and coalesced writes
+    reassemble exactly like ``readline``'s would.
+
+    ``read_frame`` returns one line **without** its trailing newline, or
+    ``None`` at EOF (a torn trailing frame is treated as EOF — the peer
+    is gone either way).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        idle_timeout_s: Optional[float] = None,
+        frame_deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._reader = reader
+        self.max_frame_bytes = max_frame_bytes
+        self.idle_timeout_s = idle_timeout_s
+        self.frame_deadline_s = frame_deadline_s
+        self._clock = clock
+        self._buffer = bytearray()
+
+    async def read_frame(self) -> Optional[bytes]:
+        started: Optional[float] = None
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return line
+            if len(self._buffer) > self.max_frame_bytes:
+                raise FrameTooLargeError(len(self._buffer), self.max_frame_bytes)
+            if self._buffer and started is None:
+                started = self._clock()
+            timeout: Optional[float] = None
+            if self._buffer:
+                if self.frame_deadline_s is not None:
+                    timeout = self.frame_deadline_s - (self._clock() - started)
+                    if timeout <= 0:
+                        raise FrameDeadlineError(self.frame_deadline_s)
+            else:
+                timeout = self.idle_timeout_s
+            try:
+                if timeout is None:
+                    chunk = await self._reader.read(_READ_CHUNK)
+                else:
+                    chunk = await asyncio.wait_for(
+                        self._reader.read(_READ_CHUNK), timeout
+                    )
+            except asyncio.TimeoutError:
+                if self._buffer:
+                    raise FrameDeadlineError(self.frame_deadline_s) from None
+                raise IdleTimeoutError(self.idle_timeout_s) from None
+            if not chunk:
+                return None
+            self._buffer.extend(chunk)
 
 
 def encode(message: Dict[str, Any]) -> bytes:

@@ -25,6 +25,28 @@ dispatch: their admission slots are released and the engine never sees
 them, so a dying client leaks no engine state (pinned by
 ``tests/test_service_admission.py``).
 
+**Connection supervision** (:class:`ConnectionPolicy`, see
+docs/RESILIENCE.md): frames are read through the bounded
+:class:`~repro.service.protocol.FrameReader` (max frame length, idle
+timeout, per-frame completion deadline), each connection has an
+in-flight cap, and a peer that stops reading long enough for its write
+buffer to cross the cap is *evicted* — it gets a retryable typed
+``slow_peer`` notice and its socket is aborted after a short grace, so
+the dispatcher never blocks on one bad socket.
+
+**Sessions** (the exactly-once layer wire chaos leans on): a ``hello``
+carrying a ``session`` id attaches the connection to per-session
+dispatch state — ``next_seq`` sequencing with a bounded hold buffer for
+out-of-order arrivals, an outcome cache for answered seqs (evicted by
+the client's ``ack`` watermark), and duplicate-waiter delivery.  A
+sessioned request is therefore translated exactly once and exactly in
+trace order no matter how often the client disconnects and resends,
+which is what keeps the replayed ``SimulationResult`` byte-identical to
+offline ``simulate`` under every :class:`~repro.faults.netchaos.
+NetworkFaultPlan` fault class.  Session-*less* connections keep the
+discard-on-dead-client behaviour above.  Session state (minus live
+connection references) rides the warm-restart checkpoint.
+
 Graceful shutdown (SIGTERM/SIGINT or :meth:`ServiceServer.shutdown`)
 drains in order: stop accepting, refuse new translates with a typed
 ``restarting`` error, finish every queued request (results still reach
@@ -39,7 +61,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.phases import PHASE_LOOKUP, PHASE_PTB, PHASE_WALK
 from repro.obs.prom import counter_line, gauge_line, registry_to_prom
@@ -66,16 +89,89 @@ SPAN_PHASE_NAMES = (
 )
 
 
+@dataclass(frozen=True)
+class ConnectionPolicy:
+    """Supervision knobs of one server's connections.
+
+    Every bound is a refusal-with-a-typed-error, never a silent hang:
+    see docs/RESILIENCE.md ("Network fault model & connection
+    supervision") for the knob table and the CLI flags that set them.
+    """
+
+    #: Max bytes of one frame (line); larger peers get
+    #: ``frame_too_large`` and are closed.
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: Reap a connection with no frame in progress and nothing in flight
+    #: after this many wall seconds (``None`` disables).
+    idle_timeout_s: Optional[float] = 600.0
+    #: A frame that *started* must complete within this bound — the
+    #: half-open / slowloris guard (``None`` disables).
+    frame_deadline_s: Optional[float] = 30.0
+    #: Max queued-but-undispatched requests per connection.
+    max_inflight: int = 4096
+    #: Evict a peer whose socket write buffer crosses this many bytes.
+    max_write_buffer: int = 8 << 20
+    #: Grace between an eviction notice and the hard transport abort.
+    evict_grace_s: float = 0.25
+    #: Max out-of-order seqs held per session before refusing with
+    #: ``too_many_inflight``.
+    session_window: int = 1024
+    #: Sessions kept before the stalest is evicted.
+    max_sessions: int = 1024
+
+
+class _Session:
+    """Per-session exactly-once, in-order dispatch state.
+
+    ``next_seq`` is the first seq not yet admitted; arrivals above it
+    wait in ``held`` (flushed in order as the head advances), arrivals
+    below it are duplicates answered from ``cache`` (or registered in
+    ``waiters`` while the original is still queued).  The client's
+    ``ack`` watermark evicts the cache, so memory stays bounded by the
+    client's window.  Only the exactly-once core (``next_seq``,
+    ``acked``, ``cache``) survives pickling into a warm-restart
+    checkpoint — live connection references die with the process.
+    """
+
+    __slots__ = ("session_id", "next_seq", "acked", "cache", "held", "waiters")
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        self.next_seq = 0
+        self.acked = 0
+        self.cache: Dict[int, Dict[str, Any]] = {}
+        self.held: Dict[int, Tuple] = {}
+        self.waiters: Dict[int, "_Connection"] = {}
+
+    def __getstate__(self):
+        return {
+            "session_id": self.session_id,
+            "next_seq": self.next_seq,
+            "acked": self.acked,
+            "cache": dict(self.cache),
+        }
+
+    def __setstate__(self, state):
+        self.session_id = state["session_id"]
+        self.next_seq = state["next_seq"]
+        self.acked = state["acked"]
+        self.cache = dict(state["cache"])
+        self.held = {}
+        self.waiters = {}
+
+
 class _Connection:
     """Per-connection state shared between its handler and the dispatcher."""
 
-    __slots__ = ("writer", "bound_sid", "closed", "name")
+    __slots__ = ("writer", "bound_sid", "closed", "name", "session", "inflight")
 
     def __init__(self, writer: asyncio.StreamWriter, name: str):
         self.writer = writer
         self.bound_sid: Optional[int] = None
         self.closed = False
         self.name = name
+        self.session: Optional[_Session] = None
+        self.inflight = 0
 
     def send(self, message: Dict[str, Any]) -> None:
         """Best-effort single-line write (skipped once closed)."""
@@ -85,6 +181,13 @@ class _Connection:
             self.writer.write(protocol.encode(message))
         except (ConnectionError, RuntimeError):
             self.closed = True
+
+    def buffer_size(self) -> int:
+        """Bytes sitting unsent in the transport's write buffer."""
+        try:
+            return self.writer.transport.get_write_buffer_size()
+        except (AttributeError, RuntimeError):
+            return 0
 
 
 class ServiceServer:
@@ -132,6 +235,7 @@ class ServiceServer:
         slo_watcher: Optional[SloWatcher] = None,
         slo_backpressure: bool = False,
         batch_window: int = 64,
+        policy: Optional[ConnectionPolicy] = None,
     ):
         self.engine = engine
         if isinstance(admission, AdmissionController):
@@ -167,6 +271,27 @@ class ServiceServer:
         #: Requests translated via the whole-batch fast path vs one at a
         #: time (observability for the dispatcher's batching behaviour).
         self.batched_requests = 0
+        #: Connection supervision bounds (docs/RESILIENCE.md knob table).
+        self.policy = policy if policy is not None else ConnectionPolicy()
+        #: Wire-level connection churn/shed counters, exported through
+        #: ``stats`` → prom → ``repro-sim top`` as the ``conn.*`` family.
+        self.conn_counters: Dict[str, int] = {
+            "opened": 0,
+            "closed": 0,
+            "reconnects": 0,
+            "handshake_retries": 0,
+            "idle_timeout": 0,
+            "frame_timeout": 0,
+            "frame_too_large": 0,
+            "evicted_slow": 0,
+            "too_many_inflight": 0,
+            "held": 0,
+            "resends_served": 0,
+        }
+        #: Session id → exactly-once dispatch state.
+        self._sessions: Dict[str, _Session] = {}
+        #: Deferred transport aborts of evicted slow peers.
+        self._abort_handles: List[asyncio.TimerHandle] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,9 +339,16 @@ class ServiceServer:
         saved: Optional[str] = None
         if self.checkpoint_path is not None:
             self.engine.save_checkpoint(
-                self.checkpoint_path, extra_state={"admission": self.admission}
+                self.checkpoint_path,
+                extra_state={
+                    "admission": self.admission,
+                    "sessions": self._sessions,
+                },
             )
             saved = str(self.checkpoint_path)
+        for handle in self._abort_handles:
+            handle.cancel()
+        self._abort_handles.clear()
         notice: Dict[str, Any] = {"type": protocol.RESTARTING}
         if saved is not None:
             notice["checkpoint"] = saved
@@ -224,7 +356,13 @@ class ServiceServer:
             conn.send(notice)
             conn.closed = True
             try:
-                await conn.writer.drain()
+                # Bounded: a stalled peer must not wedge the drain of
+                # every other client's restart notice.
+                await asyncio.wait_for(
+                    conn.writer.drain(), timeout=self.policy.evict_grace_s
+                )
+            except asyncio.TimeoutError:
+                conn.writer.transport.abort()
             except ConnectionError:
                 pass
             conn.writer.close()
@@ -279,10 +417,17 @@ class ServiceServer:
                 for (conn, seq, packet, _), outcome in zip(batch, outcomes):
                     try:
                         admission.release(packet.sid)
-                        conn.send(outcome.to_wire(seq))
-                        self.results_sent += 1
+                        reply = outcome.to_wire(seq)
+                        if conn.session is not None:
+                            self._record_session_reply(
+                                conn.session, conn, seq, reply
+                            )
+                        else:
+                            conn.send(reply)
+                            self.results_sent += 1
                         touched[id(conn)] = conn
                     finally:
+                        conn.inflight -= 1
                         self._maybe_evaluate_slo()
                         queue.task_done()
             else:
@@ -290,14 +435,18 @@ class ServiceServer:
                     conn = self._dispatch_one(it)
                     if conn is not None:
                         touched[id(conn)] = conn
+            # The dispatcher never awaits any one peer's drain — a peer
+            # that stops reading is evicted once its write buffer
+            # crosses the cap, instead of wedging every other client.
+            for conn in touched.values():
+                if (
+                    not conn.closed
+                    and conn.buffer_size() > self.policy.max_write_buffer
+                ):
+                    self._evict_slow_peer(conn)
             # Yield so connection handlers and writers get scheduled
             # between passes even under a full queue.
-            for conn in touched.values():
-                if not conn.closed:
-                    try:
-                        await conn.writer.drain()
-                    except ConnectionError:
-                        conn.closed = True
+            await asyncio.sleep(0)
             if stop:
                 queue.task_done()
                 return
@@ -313,15 +462,29 @@ class ServiceServer:
         queue = self._queue
         spans = self.spans
         conn, seq, packet, wire_span = item
+        session = conn.session
         dispatch_span = None
         if spans is not None:
             dispatch_span = spans.start(
                 SPAN_DISPATCH, parent=wire_span, sid=packet.sid, seq=seq
             )
+
+        def reply_with(reply: Dict[str, Any], is_result: bool) -> None:
+            """Deliver one final answer: session-cached or plain send."""
+            if session is not None:
+                self._record_session_reply(session, conn, seq, reply)
+            else:
+                conn.send(reply)
+                if is_result:
+                    self.results_sent += 1
+
         try:
-            if conn.closed:
+            if conn.closed and session is None:
                 # Client died with this request still queued: discard
                 # it before the engine sees it — no engine-state leak.
+                # A *sessioned* request is translated anyway: the client
+                # is reconnecting and will resend this seq, and skipping
+                # it here would break the session's in-order guarantee.
                 admission.release(packet.sid)
                 if dispatch_span is not None:
                     dispatch_span.attrs["outcome"] = "discarded"
@@ -333,13 +496,14 @@ class ServiceServer:
                     engine.shed_slot(packet)
                     admission.record_shed(packet.sid)
                     admission.release(packet.sid)
-                    conn.send(
+                    reply_with(
                         protocol.error_reply(
                             protocol.E_BACKPRESSURE,
                             f"PTB occupancy {occupancy} at high watermark; "
                             f"request shed",
                             seq=seq,
-                        )
+                        ),
+                        is_result=False,
                     )
                     if dispatch_span is not None:
                         dispatch_span.attrs["outcome"] = "shed"
@@ -360,10 +524,11 @@ class ServiceServer:
                 outcome = engine.submit(packet)
             except Exception as error:
                 admission.release(packet.sid)
-                conn.send(
+                reply_with(
                     protocol.error_reply(
                         protocol.E_TRANSLATION, str(error), seq=seq
-                    )
+                    ),
+                    is_result=False,
                 )
                 if step_span is not None:
                     spans.finish(step_span, error=str(error))
@@ -377,10 +542,10 @@ class ServiceServer:
                     )
                 dispatch_span.attrs["outcome"] = outcome.status
             admission.release(packet.sid)
-            conn.send(outcome.to_wire(seq))
-            self.results_sent += 1
+            reply_with(outcome.to_wire(seq), is_result=True)
             return conn
         finally:
+            conn.inflight -= 1
             if dispatch_span is not None:
                 spans.finish(dispatch_span)
             self._maybe_evaluate_slo()
@@ -410,6 +575,125 @@ class ServiceServer:
                 phase=phase,
             )
             cursor += delta
+
+    # ------------------------------------------------------------------
+    # Session exactly-once machinery
+    # ------------------------------------------------------------------
+    def _record_session_reply(
+        self,
+        session: _Session,
+        conn: _Connection,
+        seq: int,
+        reply: Dict[str, Any],
+    ) -> None:
+        """Cache one final answer and deliver it to whoever still listens.
+
+        The cache is what makes resends idempotent: a duplicate of an
+        answered seq is served from here without the engine ever seeing
+        it again.  ``waiters`` covers the race where the duplicate
+        arrived (on a new connection) while the original was still
+        queued — the reply reaches the new connection even though the
+        original died.
+        """
+        session.cache[seq] = reply
+        waiter = session.waiters.pop(seq, None)
+        delivered = False
+        if not conn.closed:
+            conn.send(reply)
+            delivered = True
+        if waiter is not None and waiter is not conn and not waiter.closed:
+            waiter.send(reply)
+            delivered = True
+        if delivered and reply.get("type") == protocol.RESULT:
+            self.results_sent += 1
+
+    def _admit_and_enqueue(
+        self,
+        conn: _Connection,
+        seq: int,
+        sid: int,
+        packet: PacketRecord,
+        wire_span,
+        session: Optional[_Session],
+        finish_wire: bool = True,
+    ) -> None:
+        """Run admission for one in-order request and queue or refuse it.
+
+        For sessioned requests every final answer — including an
+        admission denial — advances ``next_seq`` and lands in the
+        outcome cache, so held successors can flush and a resend of the
+        denied seq gets the identical denial.
+        """
+        spans = self.spans
+        if spans is not None:
+            admission_span = spans.start(SPAN_ADMISSION, parent=wire_span)
+            denied = self.admission.acquire(sid, self._clock())
+            spans.finish(admission_span, verdict=denied or "admitted")
+        else:
+            denied = self.admission.acquire(sid, self._clock())
+        if denied is not None:
+            reply = protocol.error_reply(
+                denied, f"admission denied for sid {sid}", seq=seq
+            )
+            if session is not None:
+                session.next_seq = max(session.next_seq, seq + 1)
+                self._record_session_reply(session, conn, seq, reply)
+            else:
+                conn.send(reply)
+            if finish_wire and wire_span is not None:
+                spans.finish(wire_span, refused=denied)
+            return
+        if session is not None:
+            session.next_seq = max(session.next_seq, seq + 1)
+        if finish_wire and wire_span is not None:
+            # wire.read covers parse + admission; the dispatcher's spans
+            # parent under it by id, so finishing before enqueue is safe.
+            spans.finish(wire_span, queued=True)
+        conn.inflight += 1
+        self._queue.put_nowait((conn, seq, packet, wire_span))
+
+    def _flush_held(self, session: _Session) -> None:
+        """Release held out-of-order seqs that became the in-order head."""
+        while session.next_seq in session.held:
+            held_conn, sid, packet, wire_span = session.held.pop(
+                session.next_seq
+            )
+            self._admit_and_enqueue(
+                held_conn,
+                session.next_seq,
+                sid,
+                packet,
+                wire_span,
+                session,
+                finish_wire=False,
+            )
+
+    def _evict_slow_peer(self, conn: _Connection) -> None:
+        """Shed a peer that stopped reading: notice, close, deferred abort.
+
+        The retryable ``slow_peer`` notice drains through the same
+        graceful path as a restart notice; if the peer never reads it,
+        the deferred transport abort reclaims the socket anyway.
+        """
+        size = conn.buffer_size()
+        self.conn_counters["evicted_slow"] += 1
+        conn.send(
+            protocol.error_reply(
+                protocol.E_SLOW_PEER,
+                f"write buffer {size} bytes over cap "
+                f"{self.policy.max_write_buffer}; evicting",
+            )
+        )
+        conn.closed = True
+        transport = conn.writer.transport
+        try:
+            conn.writer.close()
+        except RuntimeError:
+            pass
+        handle = asyncio.get_running_loop().call_later(
+            self.policy.evict_grace_s, transport.abort
+        )
+        self._abort_handles.append(handle)
 
     # ------------------------------------------------------------------
     # SLO watch engine
@@ -458,6 +742,7 @@ class ServiceServer:
                 drop_rate=drop_rate,
                 ptb_occupancy=occupancy,
                 model_ns=model_ns,
+                conn_churn=float(self.conn_counters["opened"]),
             )
         )
         if self.slo_backpressure:
@@ -475,10 +760,36 @@ class ServiceServer:
         peer = writer.get_extra_info("peername")
         conn = _Connection(writer, name=str(peer))
         self._connections.append(conn)
+        self.conn_counters["opened"] += 1
+        policy = self.policy
+        frames = protocol.FrameReader(
+            reader,
+            max_frame_bytes=policy.max_frame_bytes,
+            idle_timeout_s=policy.idle_timeout_s,
+            frame_deadline_s=policy.frame_deadline_s,
+            clock=self._clock,
+        )
         try:
             while not conn.closed:
-                line = await reader.readline()
-                if not line:
+                try:
+                    line = await frames.read_frame()
+                except protocol.IdleTimeoutError as error:
+                    if conn.inflight > 0:
+                        # Quiet because it is *waiting* (its replies are
+                        # still being dispatched), not abandoned.
+                        continue
+                    self.conn_counters["idle_timeout"] += 1
+                    conn.send(protocol.error_reply(error.code, str(error)))
+                    break
+                except protocol.FrameTooLargeError as error:
+                    self.conn_counters["frame_too_large"] += 1
+                    conn.send(protocol.error_reply(error.code, str(error)))
+                    break
+                except protocol.FrameStreamError as error:
+                    self.conn_counters["frame_timeout"] += 1
+                    conn.send(protocol.error_reply(error.code, str(error)))
+                    break
+                if line is None:
                     break
                 line = line.strip()
                 if not line:
@@ -495,8 +806,15 @@ class ServiceServer:
             pass
         finally:
             conn.closed = True
+            self.conn_counters["closed"] += 1
             if conn in self._connections:
                 self._connections.remove(conn)
+            try:
+                await asyncio.wait_for(
+                    writer.drain(), timeout=policy.evict_grace_s
+                )
+            except (ConnectionError, asyncio.TimeoutError, RuntimeError):
+                pass
             try:
                 writer.close()
             except RuntimeError:
@@ -523,16 +841,41 @@ class ServiceServer:
                     )
                 )
                 return
+            attempts = message.get("attempts")
+            if isinstance(attempts, int) and attempts > 1:
+                # Client-reported connect retries: the wire-level
+                # reconnect-pressure signal behind the churn SLO.
+                self.conn_counters["handshake_retries"] += attempts - 1
+            session_id = message.get("session")
+            if session_id is not None:
+                if not isinstance(session_id, str) or not session_id:
+                    conn.send(
+                        protocol.error_reply(
+                            protocol.E_BAD_REQUEST,
+                            "'session' must be a non-empty string",
+                        )
+                    )
+                    return
+                session = self._sessions.get(session_id)
+                if session is None:
+                    if len(self._sessions) >= self.policy.max_sessions:
+                        self._sessions.pop(next(iter(self._sessions)))
+                    session = _Session(session_id)
+                    self._sessions[session_id] = session
+                else:
+                    self.conn_counters["reconnects"] += 1
+                conn.session = session
             conn.bound_sid = sid
-            conn.send(
-                {
-                    "type": protocol.HELLO_OK,
-                    "schema": protocol.PROTOCOL_SCHEMA,
-                    "sid": sid,
-                    "num_devices": self.engine.num_devices,
-                    "features": list(protocol.PROTOCOL_FEATURES),
-                }
-            )
+            hello_ok: Dict[str, Any] = {
+                "type": protocol.HELLO_OK,
+                "schema": protocol.PROTOCOL_SCHEMA,
+                "sid": sid,
+                "num_devices": self.engine.num_devices,
+                "features": list(protocol.PROTOCOL_FEATURES),
+            }
+            if session_id is not None:
+                hello_ok["session"] = session_id
+            conn.send(hello_ok)
         elif kind == protocol.TRANSLATE:
             self._handle_translate(conn, message)
         elif kind == protocol.STATS:
@@ -602,29 +945,73 @@ class ServiceServer:
             if wire_span is not None:
                 spans.finish(wire_span, refused=protocol.E_UNKNOWN_SID)
             return
-        if spans is not None:
-            admission_span = spans.start(SPAN_ADMISSION, parent=wire_span)
-            denied = self.admission.acquire(sid, self._clock())
-            spans.finish(admission_span, verdict=denied or "admitted")
-        else:
-            denied = self.admission.acquire(sid, self._clock())
-        if denied is not None:
-            conn.send(
-                protocol.error_reply(
-                    denied, f"admission denied for sid {sid}", seq=seq
-                )
-            )
-            if wire_span is not None:
-                spans.finish(wire_span, refused=denied)
-            return
         packet = PacketRecord(
             sid=sid, giovas=giovas, size_bytes=size, invalidations=inv
         )
-        if wire_span is not None:
-            # wire.read covers parse + admission; the dispatcher's spans
-            # parent under it by id, so finishing before enqueue is safe.
-            spans.finish(wire_span, queued=True)
-        self._queue.put_nowait((conn, seq, packet, wire_span))
+        session = conn.session
+        if session is not None:
+            ack = message.get("ack")
+            if isinstance(ack, int) and ack > session.acked:
+                # The client's contiguous-answered watermark: everything
+                # below it will never be resent, so the cache lets go.
+                for answered in [s for s in session.cache if s < ack]:
+                    del session.cache[answered]
+                session.acked = ack
+            if seq < session.next_seq:
+                cached = session.cache.get(seq)
+                if cached is not None:
+                    self.conn_counters["resends_served"] += 1
+                    conn.send(cached)
+                    if cached.get("type") == protocol.RESULT:
+                        self.results_sent += 1
+                elif seq >= session.acked:
+                    # Original still queued (its connection may be dead):
+                    # deliver its reply here when it lands.
+                    session.waiters[seq] = conn
+                if wire_span is not None:
+                    spans.finish(wire_span, resend=True)
+                return
+            if seq > session.next_seq:
+                if (
+                    seq - session.next_seq > self.policy.session_window
+                    or len(session.held) >= self.policy.session_window
+                ):
+                    self.conn_counters["too_many_inflight"] += 1
+                    conn.send(
+                        protocol.error_reply(
+                            protocol.E_TOO_MANY_INFLIGHT,
+                            f"seq {seq} is {seq - session.next_seq} ahead of "
+                            f"the session head; window is "
+                            f"{self.policy.session_window}",
+                            seq=seq,
+                        )
+                    )
+                    if wire_span is not None:
+                        spans.finish(wire_span, refused=protocol.E_TOO_MANY_INFLIGHT)
+                    return
+                # Out-of-order arrival (an earlier seq was lost on the
+                # wire): hold it, never submit ahead of trace order.
+                self.conn_counters["held"] += 1
+                session.held[seq] = (conn, sid, packet, wire_span)
+                if wire_span is not None:
+                    spans.finish(wire_span, held=True)
+                return
+        if conn.inflight >= self.policy.max_inflight:
+            self.conn_counters["too_many_inflight"] += 1
+            conn.send(
+                protocol.error_reply(
+                    protocol.E_TOO_MANY_INFLIGHT,
+                    f"{conn.inflight} requests in flight; cap is "
+                    f"{self.policy.max_inflight}",
+                    seq=seq,
+                )
+            )
+            if wire_span is not None:
+                spans.finish(wire_span, refused=protocol.E_TOO_MANY_INFLIGHT)
+            return
+        self._admit_and_enqueue(conn, seq, sid, packet, wire_span, session)
+        if session is not None:
+            self._flush_held(session)
 
     async def _handle_flush(self, conn: _Connection) -> None:
         """End-of-stream: drain the queue, then build the final result.
@@ -670,6 +1057,11 @@ class ServiceServer:
                 "drop_causes": dict(stats.drop_causes),
             },
             "admission": self.admission.snapshot(),
+            "conn": {
+                "open": len(self._connections),
+                "sessions": len(self._sessions),
+                **self.conn_counters,
+            },
         }
         metrics = engine.sim._metrics
         if metrics is not None:
@@ -713,7 +1105,11 @@ class ServiceServer:
                 {},
                 self._queue.qsize() if self._queue is not None else 0,
             ),
+            gauge_line("conn_open", {}, len(self._connections)),
+            gauge_line("conn_sessions", {}, len(self._sessions)),
         ]
+        for key, value in sorted(self.conn_counters.items()):
+            extra.append(counter_line(f"conn_{key}", {}, value))
         watcher = self.slo_watcher
         if watcher is not None:
             for rule in watcher.rules:
@@ -748,6 +1144,7 @@ def build_server(
     resume_from=None,
     slo_rules=None,
     slo_backpressure: bool = False,
+    policy: Optional[ConnectionPolicy] = None,
 ) -> ServiceServer:
     """Assemble a server around a fresh or warm-restarted engine.
 
@@ -783,7 +1180,7 @@ def build_server(
             controller.reset_runtime()
         else:
             controller = AdmissionController(admission)
-        return ServiceServer(
+        server = ServiceServer(
             engine,
             admission=controller,
             host=host,
@@ -792,7 +1189,15 @@ def build_server(
             spans=spans,
             slo_watcher=watcher,
             slo_backpressure=slo_backpressure,
+            policy=policy,
         )
+        sessions = state.get("sessions")
+        if isinstance(sessions, dict):
+            # Restored exactly-once state: clients resuming their
+            # sessions after the warm restart get cached answers for
+            # anything the old process already translated.
+            server._sessions = sessions
+        return server
     engine = ServiceEngine(
         config, trace, observability=observability, fault_plan=fault_plan
     )
@@ -805,4 +1210,5 @@ def build_server(
         spans=spans,
         slo_watcher=watcher,
         slo_backpressure=slo_backpressure,
+        policy=policy,
     )

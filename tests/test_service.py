@@ -18,7 +18,7 @@ from repro.service.engine import (
     UnknownTenantError,
     load_service_checkpoint,
 )
-from repro.service.server import ServiceServer
+from repro.service.server import ConnectionPolicy, ServiceServer
 from repro.sim.checkpoint import CheckpointError
 from repro.sim.simulator import HyperSimulator
 from repro.trace.constructor import construct_trace
@@ -333,6 +333,359 @@ class TestServerEndToEnd:
         flush = asyncio.run(second_half())
         assert flush["packets"] == len(packets)
         assert result_from_dict(flush["result"]) == offline
+
+
+async def raw_connect(port):
+    """A bare protocol-level connection (no client library)."""
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def raw_request(reader, writer, message):
+    writer.write(protocol.encode(message))
+    await writer.drain()
+    return protocol.decode(await reader.readline())
+
+
+async def with_server(body, policy=None, packets=PACKETS):
+    """Run ``body(server)`` against a started server; always cleans up."""
+    engine = ServiceEngine(hypertrio_config(), make_trace(packets=packets))
+    server = ServiceServer(engine, policy=policy)
+    await server.start()
+    try:
+        return await body(server), server
+    finally:
+        await server.shutdown()
+
+
+class TestConnectionSupervision:
+    def test_malformed_frame_answered_and_connection_survives(self):
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                error = protocol.decode(await reader.readline())
+                assert error["type"] == protocol.ERROR
+                assert error["code"] == protocol.E_BAD_REQUEST
+                # The connection is still usable afterwards.
+                hello = await raw_request(
+                    reader, writer, {"type": protocol.HELLO}
+                )
+                assert hello["type"] == protocol.HELLO_OK
+                assert "conn_supervision" in hello["features"]
+                assert "session" in hello["features"]
+            finally:
+                writer.close()
+
+        asyncio.run(with_server(body))
+
+    def test_oversized_frame_rejected_with_typed_error(self):
+        policy = ConnectionPolicy(max_frame_bytes=1024)
+
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                writer.write(b"x" * 5000)  # no newline needed to trip it
+                await writer.drain()
+                error = protocol.decode(await reader.readline())
+                assert error["code"] == protocol.E_FRAME_TOO_LARGE
+                assert await reader.readline() == b""  # server closed
+            finally:
+                writer.close()
+            assert server.conn_counters["frame_too_large"] == 1
+
+        asyncio.run(with_server(body, policy=policy))
+
+    def test_half_open_connection_hits_frame_deadline(self):
+        policy = ConnectionPolicy(frame_deadline_s=0.1)
+
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                writer.write(b'{"type": "hel')  # a frame that never ends
+                await writer.drain()
+                error = protocol.decode(await reader.readline())
+                assert error["code"] == protocol.E_FRAME_TIMEOUT
+                assert await reader.readline() == b""
+            finally:
+                writer.close()
+            assert server.conn_counters["frame_timeout"] == 1
+
+        asyncio.run(with_server(body, policy=policy))
+
+    def test_idle_connection_reaped(self):
+        policy = ConnectionPolicy(idle_timeout_s=0.05)
+
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                error = protocol.decode(await reader.readline())
+                assert error["code"] == protocol.E_IDLE_TIMEOUT
+                assert await reader.readline() == b""
+            finally:
+                writer.close()
+            assert server.conn_counters["idle_timeout"] == 1
+
+        asyncio.run(with_server(body, policy=policy))
+
+    def test_mid_handshake_disconnect_leaves_server_clean(self):
+        async def body(server):
+            _, writer = await raw_connect(server.port)
+            writer.write(b'{"type": "hello"')  # torn hello, then gone
+            await writer.drain()
+            writer.close()
+            # The server treats the torn trailing frame as EOF and a
+            # fresh client is unaffected.
+            for _ in range(100):
+                await asyncio.sleep(0.01)
+                if not server._connections:
+                    break
+            assert not server._connections
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            outcomes = await client.replay(make_trace().packets)
+            assert len(outcomes) == PACKETS
+            await client.close()
+
+        asyncio.run(with_server(body))
+
+    def test_inflight_cap_refuses_with_retryable_error(self):
+        policy = ConnectionPolicy(max_inflight=0)
+
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                hello = await raw_request(
+                    reader, writer, {"type": protocol.HELLO}
+                )
+                assert hello["type"] == protocol.HELLO_OK
+                packet = make_trace().packets[0]
+                error = await raw_request(
+                    reader,
+                    writer,
+                    {
+                        "type": protocol.TRANSLATE,
+                        "seq": 0,
+                        "sid": packet.sid,
+                        "giovas": list(packet.giovas),
+                        "size": packet.size_bytes,
+                    },
+                )
+                assert error["code"] == protocol.E_TOO_MANY_INFLIGHT
+                assert error["code"] in protocol.RETRYABLE_CODES
+            finally:
+                writer.close()
+            assert server.conn_counters["too_many_inflight"] == 1
+
+        asyncio.run(with_server(body, policy=policy))
+
+    def test_slow_peer_is_evicted_not_awaited(self):
+        # A zero write-buffer cap marks every touched connection slow the
+        # moment the dispatcher replies to it — the eviction path runs
+        # without needing to actually wedge a socket.
+        policy = ConnectionPolicy(max_write_buffer=-1, evict_grace_s=0.05)
+
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                await raw_request(reader, writer, {"type": protocol.HELLO})
+                packet = make_trace().packets[0]
+                writer.write(
+                    protocol.encode(
+                        {
+                            "type": protocol.TRANSLATE,
+                            "seq": 0,
+                            "sid": packet.sid,
+                            "giovas": list(packet.giovas),
+                            "size": packet.size_bytes,
+                        }
+                    )
+                )
+                await writer.drain()
+                replies = []
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), 5.0)
+                    if not line:
+                        break
+                    replies.append(protocol.decode(line))
+                kinds = [
+                    (r.get("type"), r.get("code")) for r in replies
+                ]
+                # The queued result still lands, then the eviction notice.
+                assert (protocol.RESULT, None) in kinds
+                assert (protocol.ERROR, protocol.E_SLOW_PEER) in kinds
+            finally:
+                writer.close()
+            assert server.conn_counters["evicted_slow"] >= 1
+
+        asyncio.run(with_server(body, policy=policy))
+
+    def test_conn_counters_exported_via_stats_and_prom(self):
+        async def body(server):
+            client = ServiceClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(make_trace().packets[:10])
+            stats = await client.stats()
+            prom = await client.stats(fmt="prom")
+            await client.close()
+            return stats, prom
+
+        (stats, prom), server = asyncio.run(with_server(body))
+        conn = stats["conn"]
+        assert conn["opened"] >= 1
+        assert conn["open"] >= 1
+        assert set(server.conn_counters) <= set(conn)
+        text = prom["text"]
+        assert "conn_opened" in text
+        assert "conn_open " in text
+        assert "conn_evicted_slow" in text
+
+
+class TestSessions:
+    @staticmethod
+    def translate_msg(packet, seq, **extra):
+        message = {
+            "type": protocol.TRANSLATE,
+            "seq": seq,
+            "sid": packet.sid,
+            "giovas": list(packet.giovas),
+            "size": packet.size_bytes,
+        }
+        if packet.invalidations:
+            message["inv"] = list(packet.invalidations)
+        message.update(extra)
+        return message
+
+    def test_duplicate_seq_served_from_cache_not_retranslated(self):
+        async def body(server):
+            packets = make_trace().packets
+            reader, writer = await raw_connect(server.port)
+            try:
+                hello = await raw_request(
+                    reader, writer,
+                    {"type": protocol.HELLO, "session": "s-dup"},
+                )
+                assert hello["session"] == "s-dup"
+                first = await raw_request(
+                    reader, writer, self.translate_msg(packets[0], 0)
+                )
+                assert first["type"] == protocol.RESULT
+                assert server.engine.processed == 1
+                again = await raw_request(
+                    reader, writer, self.translate_msg(packets[0], 0)
+                )
+                assert again == first  # byte-identical cached reply
+                assert server.engine.processed == 1  # never re-ran
+            finally:
+                writer.close()
+            assert server.conn_counters["resends_served"] == 1
+
+        asyncio.run(with_server(body))
+
+    def test_out_of_order_arrivals_dispatch_in_seq_order(self):
+        async def body(server):
+            packets = make_trace().packets
+            reader, writer = await raw_connect(server.port)
+            try:
+                await raw_request(
+                    reader, writer,
+                    {"type": protocol.HELLO, "session": "s-ooo"},
+                )
+                # seq 1 arrives first: held, not translated.
+                writer.write(
+                    protocol.encode(self.translate_msg(packets[1], 1))
+                )
+                writer.write(
+                    protocol.encode(self.translate_msg(packets[0], 0))
+                )
+                await writer.drain()
+                replies = [
+                    protocol.decode(await reader.readline())
+                    for _ in range(2)
+                ]
+                assert [r["seq"] for r in replies] == [0, 1]
+            finally:
+                writer.close()
+            assert server.conn_counters["held"] == 1
+            assert server.engine.processed == 2
+
+        asyncio.run(with_server(body))
+
+    def test_session_window_bounds_the_hold_buffer(self):
+        policy = ConnectionPolicy(session_window=4)
+
+        async def body(server):
+            packets = make_trace().packets
+            reader, writer = await raw_connect(server.port)
+            try:
+                await raw_request(
+                    reader, writer,
+                    {"type": protocol.HELLO, "session": "s-win"},
+                )
+                error = await raw_request(
+                    reader, writer, self.translate_msg(packets[0], 100)
+                )
+                assert error["code"] == protocol.E_TOO_MANY_INFLIGHT
+            finally:
+                writer.close()
+
+        asyncio.run(with_server(body, policy=policy))
+
+    def test_reconnect_resumes_session_and_ack_evicts_cache(self):
+        async def body(server):
+            packets = make_trace().packets
+            reader, writer = await raw_connect(server.port)
+            first = await raw_request(
+                reader, writer, {"type": protocol.HELLO, "session": "s-re"}
+            )
+            assert first["type"] == protocol.HELLO_OK
+            reply = await raw_request(
+                reader, writer, self.translate_msg(packets[0], 0)
+            )
+            writer.close()
+            # Reconnect under the same session id.
+            reader, writer = await raw_connect(server.port)
+            try:
+                await raw_request(
+                    reader, writer,
+                    {"type": protocol.HELLO, "session": "s-re"},
+                )
+                assert server.conn_counters["reconnects"] == 1
+                resent = await raw_request(
+                    reader, writer, self.translate_msg(packets[0], 0)
+                )
+                assert resent == reply
+                session = server._sessions["s-re"]
+                assert 0 in session.cache
+                # ack=1 says seq 0 will never be resent again.
+                nxt = await raw_request(
+                    reader, writer,
+                    self.translate_msg(packets[1], 1, ack=1),
+                )
+                assert nxt["type"] == protocol.RESULT
+                assert 0 not in session.cache
+                assert session.acked == 1
+            finally:
+                writer.close()
+            assert server.engine.processed == 2
+
+        asyncio.run(with_server(body))
+
+    def test_sessionless_wire_format_is_unchanged(self):
+        # Legacy clients must see byte-identical behaviour: no session
+        # field in hello_ok, no session state server-side.
+        async def body(server):
+            reader, writer = await raw_connect(server.port)
+            try:
+                hello = await raw_request(
+                    reader, writer, {"type": protocol.HELLO}
+                )
+                assert "session" not in hello
+            finally:
+                writer.close()
+            assert not server._sessions
+
+        asyncio.run(with_server(body))
 
 
 class TestSweepRegistration:
